@@ -1,0 +1,61 @@
+// Command dmbench regenerates the reproduction's experiment tables — one
+// per table/figure of the canonical evaluations indexed in DESIGN.md.
+//
+// Usage:
+//
+//	dmbench               # run every experiment at full scale
+//	dmbench -quick        # laptop-seconds versions of every experiment
+//	dmbench -exp A1,C3    # selected experiments
+//	dmbench -list         # list experiment ids and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quickFlag = flag.Bool("quick", false, "run reduced workloads")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	scale := experiments.Full
+	if *quickFlag {
+		scale = experiments.Quick
+	}
+	var selected []experiments.Experiment
+	if *expFlag == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := e.Run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "EXP-%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The heavy lifting is tested in internal/experiments; here only the
+// registry wiring the CLI depends on.
+func TestRegistryNonEmpty(t *testing.T) {
+	all := experiments.All()
+	if len(all) < 10 {
+		t.Fatalf("experiments = %d", len(all))
+	}
+	for _, e := range all {
+		if e.Run == nil {
+			t.Errorf("experiment %s has no Run", e.ID)
+		}
+		if _, err := experiments.ByID(e.ID); err != nil {
+			t.Errorf("ByID(%s): %v", e.ID, err)
+		}
+	}
+}

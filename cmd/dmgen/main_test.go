@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transactions"
+)
+
+func generate(t *testing.T, kind string, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, kind, n, 8, 3, 2, 0.05, 3, 2, 9); err != nil {
+		t.Fatalf("run(%s): %v", kind, err)
+	}
+	return buf.String()
+}
+
+func TestGenerateBasketsParsesBack(t *testing.T) {
+	out := generate(t, "baskets", 50)
+	db, err := transactions.ReadBasket(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 50 {
+		t.Errorf("transactions = %d", db.Len())
+	}
+}
+
+func TestGenerateClassifyParsesBack(t *testing.T) {
+	out := generate(t, "classify", 40)
+	tbl, err := dataset.ReadCSV(strings.NewReader(out), "group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 40 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+	if tbl.NumClasses() == 0 {
+		t.Error("class column not categorical")
+	}
+}
+
+func TestGenerateClustersHasHeaderAndLabels(t *testing.T) {
+	out := generate(t, "clusters", 30)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 31 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "x0,x1,label" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestGenerateSequencesFormat(t *testing.T) {
+	out := generate(t, "sequences", 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			t.Fatal("empty customer line")
+		}
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", 10, 1, 1, 1, 0, 1, 1, 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,364 @@
+// Command dmine runs the library's mining algorithms on user data.
+//
+// Subcommands:
+//
+//	dmine assoc    -in baskets.txt -minsup 0.01 -minconf 0.5 [-algo Apriori]
+//	dmine seq      -in sequences.txt -minsup 0.02 [-algo GSP]
+//	dmine cluster  -in points.csv -k 5 [-algo kmeans]
+//	dmine classify -in people.csv -class group [-algo tree] [-folds 10]
+//
+// Input formats match cmd/dmgen's output: whitespace-separated item ids
+// (one basket per line), ';'-separated transactions of item ids (one
+// customer per line), and CSV with a header row.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/assoc"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/quant"
+	"repro/internal/seqmine"
+	"repro/internal/transactions"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "assoc":
+		err = runAssoc(os.Args[2:])
+	case "seq":
+		err = runSeq(os.Args[2:])
+	case "cluster":
+		err = runCluster(os.Args[2:])
+	case "classify":
+		err = runClassify(os.Args[2:])
+	case "quant":
+		err = runQuant(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmine:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dmine <assoc|seq|cluster|classify|quant> [flags]")
+}
+
+// runQuant mines quantitative association rules from a CSV table.
+func runQuant(args []string) error {
+	fs := flag.NewFlagSet("quant", flag.ExitOnError)
+	in := fs.String("in", "", "CSV with a header row")
+	bins := fs.Int("bins", 4, "equi-depth intervals per numeric attribute")
+	maxSup := fs.Float64("maxsup", 0.5, "maximum interval support")
+	minsup := fs.Float64("minsup", 0.1, "minimum rule support")
+	minconf := fs.Float64("minconf", 0.6, "minimum rule confidence")
+	topN := fs.Int("top", 20, "rules to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tbl, err := dataset.ReadCSV(f, "")
+	if err != nil {
+		return err
+	}
+	rules, codec, err := quant.Mine(tbl, quant.Config{Bins: *bins, MaxSupport: *maxSup}, *minsup, *minconf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows, %d encoded items, %d rules\n", tbl.NumRows(), len(codec.Items), len(rules))
+	for i, r := range rules {
+		if i >= *topN {
+			break
+		}
+		fmt.Println(" ", r)
+	}
+	return nil
+}
+
+func runAssoc(args []string) error {
+	fs := flag.NewFlagSet("assoc", flag.ExitOnError)
+	in := fs.String("in", "", "basket file (one transaction per line)")
+	minsup := fs.Float64("minsup", 0.01, "minimum relative support")
+	minconf := fs.Float64("minconf", 0.5, "minimum rule confidence")
+	algo := fs.String("algo", "Apriori", "mining algorithm (see core.Miners)")
+	topN := fs.Int("top", 20, "rules to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := transactions.ReadBasket(f)
+	if err != nil {
+		return err
+	}
+	miner, err := core.MinerByName(*algo)
+	if err != nil {
+		return err
+	}
+	res, err := miner.Mine(db, *minsup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d transactions, %d frequent itemsets (max length %d)\n",
+		miner.Name(), db.Len(), res.NumFrequent(), res.MaxLevel())
+	for _, p := range res.Passes {
+		fmt.Printf("  pass %d: %d candidates, %d frequent\n", p.K, p.Candidates, p.Frequent)
+	}
+	rules, err := assoc.GenerateRules(res, *minconf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rules at confidence >= %.2f\n", len(rules), *minconf)
+	for i, r := range rules {
+		if i >= *topN {
+			break
+		}
+		fmt.Println(" ", r)
+	}
+	return nil
+}
+
+func runSeq(args []string) error {
+	fs := flag.NewFlagSet("seq", flag.ExitOnError)
+	in := fs.String("in", "", "sequence file (transactions separated by ';')")
+	minsup := fs.Float64("minsup", 0.02, "minimum relative support")
+	algo := fs.String("algo", "GSP", "AprioriAll or GSP")
+	topN := fs.Int("top", 20, "maximal sequences to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := readSequences(*in)
+	if err != nil {
+		return err
+	}
+	var miner seqmine.Miner
+	switch *algo {
+	case "GSP":
+		miner = &seqmine.GSP{}
+	case "AprioriAll":
+		miner = &seqmine.AprioriAll{}
+	default:
+		return fmt.Errorf("unknown sequence miner %q", *algo)
+	}
+	res, err := miner.Mine(data, *minsup)
+	if err != nil {
+		return err
+	}
+	maximal := res.Maximal()
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i].Count > maximal[j].Count })
+	fmt.Printf("%s: %d customers, %d frequent sequences, %d maximal\n",
+		miner.Name(), len(data), res.NumFrequent(), len(maximal))
+	for i, sc := range maximal {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("  %s (support %d)\n", sc.Seq, sc.Count)
+	}
+	return nil
+}
+
+func readSequences(path string) ([]seqmine.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []seqmine.Sequence
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var seq seqmine.Sequence
+		for _, part := range strings.Split(line, ";") {
+			fields := strings.Fields(part)
+			if len(fields) == 0 {
+				continue
+			}
+			items := make([]int, 0, len(fields))
+			for _, fstr := range fields {
+				v, err := strconv.Atoi(fstr)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", fstr, err)
+				}
+				items = append(items, v)
+			}
+			seq = append(seq, transactions.NewItemset(items...))
+		}
+		if len(seq) > 0 {
+			out = append(out, seq)
+		}
+	}
+	return out, sc.Err()
+}
+
+func runCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	in := fs.String("in", "", "CSV of numeric columns (non-numeric columns ignored)")
+	k := fs.Int("k", 5, "number of clusters (ignored by dbscan)")
+	algo := fs.String("algo", "kmeans", "kmeans | pam | clara | clarans | dbscan | birch")
+	eps := fs.Float64("eps", 1, "dbscan: neighbourhood radius")
+	minPts := fs.Int("minpts", 5, "dbscan: core-point threshold")
+	seed := fs.Int64("seed", 1, "seed for randomised algorithms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pts, err := readPoints(*in)
+	if err != nil {
+		return err
+	}
+	var c core.Clusterer
+	switch *algo {
+	case "kmeans":
+		c = &core.KMeansClusterer{KMeans: cluster.KMeans{K: *k, Seed: *seed}}
+	case "pam":
+		c = &core.PAMClusterer{PAM: cluster.PAM{K: *k}}
+	case "clara":
+		c = &core.CLARAClusterer{CLARA: cluster.CLARA{K: *k, Seed: *seed}}
+	case "clarans":
+		c = &core.CLARANSClusterer{CLARANS: cluster.CLARANS{K: *k, Seed: *seed}}
+	case "dbscan":
+		c = &core.DBSCANClusterer{DBSCAN: cluster.DBSCAN{Eps: *eps, MinPts: *minPts, UseIndex: true}}
+	case "birch":
+		c = &core.BIRCHClusterer{BIRCH: cluster.BIRCH{K: *k, Seed: *seed}}
+	default:
+		return fmt.Errorf("unknown clusterer %q", *algo)
+	}
+	res, err := c.Cluster(pts)
+	if err != nil {
+		return err
+	}
+	sizes := map[int]int{}
+	noise := 0
+	for _, a := range res.Assignments {
+		if a == cluster.Noise {
+			noise++
+		} else {
+			sizes[a]++
+		}
+	}
+	fmt.Printf("%s: %d points, %d clusters, %d noise, cost %.2f\n",
+		c.Name(), len(pts), res.NumClusters(), noise, res.Cost)
+	ids := make([]int, 0, len(sizes))
+	for id := range sizes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  cluster %d: %d points\n", id, sizes[id])
+	}
+	return nil
+}
+
+func readPoints(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tbl, err := dataset.ReadCSV(f, "")
+	if err != nil {
+		return nil, err
+	}
+	var numeric []int
+	for j, a := range tbl.Attributes {
+		if a.Kind == dataset.Numeric {
+			numeric = append(numeric, j)
+		}
+	}
+	if len(numeric) == 0 {
+		return nil, fmt.Errorf("no numeric columns in %s", path)
+	}
+	pts := make([][]float64, tbl.NumRows())
+	for i, row := range tbl.Rows {
+		p := make([]float64, len(numeric))
+		for d, j := range numeric {
+			if dataset.IsMissing(row[j]) {
+				return nil, fmt.Errorf("row %d: missing value in numeric column %q", i, tbl.Attributes[j].Name)
+			}
+			p[d] = row[j]
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+func runClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	in := fs.String("in", "", "CSV with a header row")
+	class := fs.String("class", "class", "class column name")
+	algo := fs.String("algo", "", "classifier name (default: compare all)")
+	folds := fs.Int("folds", 10, "cross-validation folds")
+	seed := fs.Int64("seed", 1, "fold-assignment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tbl, err := dataset.ReadCSV(f, *class)
+	if err != nil {
+		return err
+	}
+	trainers := core.Classifiers()
+	if *algo != "" {
+		tr, err := core.ClassifierByName(*algo)
+		if err != nil {
+			return err
+		}
+		trainers = []core.ClassifierTrainer{tr}
+	}
+	if *algo != "" && len(trainers) == 1 {
+		// Single classifier: print the full confusion matrix too.
+		tr := trainers[0]
+		res, err := eval.CrossValidate(tbl, *folds, *seed, func(train *dataset.Table) (eval.Classifier, error) {
+			return tr.Train(train)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d rows, %d-fold CV accuracy %.2f%%, macro-F1 %.3f\n",
+			tr.Name(), tbl.NumRows(), *folds, res.Accuracy()*100, res.Matrix.MacroF1())
+		fmt.Print(res.Matrix)
+		return nil
+	}
+	comps, err := core.CompareClassifiers(tbl, trainers, *folds, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows, %d-fold cross-validation\n", tbl.NumRows(), *folds)
+	fmt.Printf("%-16s%12s%12s\n", "classifier", "accuracy", "macro-F1")
+	for _, c := range comps {
+		fmt.Printf("%-16s%11.2f%%%12.3f\n", c.Name, c.Accuracy*100, c.MacroF1)
+	}
+	return nil
+}

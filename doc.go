@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of the techniques
+// surveyed by "Data Mining Techniques" (SIGMOD 1996): association-rule
+// mining (AIS, SETM, Apriori family, Partition, DHP), sequential patterns
+// (AprioriAll, GSP), clustering (k-means, PAM/CLARA/CLARANS, hierarchical,
+// DBSCAN, BIRCH), classification (decision trees, naive Bayes, kNN, 1R,
+// neural networks), the synthetic workload generators their canonical
+// evaluations used, and an experiment harness that regenerates those
+// evaluations' tables and figures.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured-vs-published results. The root-level
+// benchmarks in bench_test.go mirror the experiment index.
+package repro

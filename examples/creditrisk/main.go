@@ -1,0 +1,126 @@
+// Credit-risk workbench: the extension modules in one workflow. A loan
+// portfolio (benchmark function F9: income, education and loan balance
+// interact) is analysed four ways: quantitative association rules explain
+// which attribute ranges co-occur with each outcome; PRISM produces a
+// covering rule list; bagging and boosting are compared against single
+// trees; and the silhouette coefficient picks k for a risk segmentation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/ensemble"
+	"repro/internal/quant"
+	"repro/internal/rules"
+	"repro/internal/synth"
+	"repro/internal/tree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	portfolio, err := synth.Classify(synth.ClassifyConfig{
+		NumRows: 1500, Function: 9, Noise: 0.05, Seed: 404,
+	})
+	if err != nil {
+		return err
+	}
+	train, test, err := portfolio.Split(0.7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loan portfolio: %d accounts (%d train / %d test)\n\n",
+		portfolio.NumRows(), train.NumRows(), test.NumRows())
+
+	// 1. Quantitative association rules: which ranges imply which group?
+	qrules, _, err := quant.Mine(train, quant.Config{
+		Bins: 4, MaxSupport: 0.4, SkipColumns: []int{synth.ColCar, synth.ColZipcode},
+	}, 0.08, 0.85)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quantitative rules (conf >= 0.85): %d found; e.g.\n", len(qrules))
+	shown := 0
+	for _, r := range qrules {
+		if len(r.Consequent) == 1 && containsGroup(r.Consequent[0]) {
+			fmt.Println("  ", r)
+			shown++
+			if shown == 4 {
+				break
+			}
+		}
+	}
+
+	// 2. PRISM covering rules.
+	prism, err := rules.TrainPRISM(train, rules.PRISM{Bins: 6, MaxRules: 40})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nPRISM: %d covering rules, holdout accuracy %.1f%%\n",
+		len(prism.Rules), 100*accuracy(prism, test))
+
+	// 3. Committees vs single trees.
+	single, err := tree.Build(train, tree.Config{Criterion: tree.GainRatio, MinLeaf: 2})
+	if err != nil {
+		return err
+	}
+	single.PrunePessimistic(0.25)
+	bag, err := (&ensemble.Bagging{Rounds: 15, Tree: tree.Config{Criterion: tree.GainRatio, MinLeaf: 2}, Seed: 1}).Train(train)
+	if err != nil {
+		return err
+	}
+	boost, err := (&ensemble.AdaBoost{Rounds: 30, MaxDepth: 2, Seed: 1}).Train(train)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nholdout accuracy:")
+	fmt.Printf("  pruned tree   %.1f%%\n", 100*accuracy(single, test))
+	fmt.Printf("  bagging(15)   %.1f%%\n", 100*accuracy(bag, test))
+	fmt.Printf("  adaboost(30)  %.1f%%\n", 100*accuracy(boost, test))
+
+	// 4. Risk segmentation: silhouette-guided choice of k over the
+	// (salary, loan) plane.
+	pts := make([][]float64, test.NumRows())
+	for i, row := range test.Rows {
+		pts[i] = []float64{row[synth.ColSalary] / 1000, row[synth.ColLoan] / 1000}
+	}
+	fmt.Println("\nsegmentation of (salary, loan) in k$, silhouette by k:")
+	bestK, bestS := 0, -1.0
+	for k := 2; k <= 6; k++ {
+		res, err := (&cluster.KMeans{K: k, Seed: 3}).Run(pts)
+		if err != nil {
+			return err
+		}
+		s, err := cluster.Silhouette(pts, res.Assignments)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  k=%d: %.3f\n", k, s)
+		if s > bestS {
+			bestK, bestS = k, s
+		}
+	}
+	fmt.Printf("silhouette prefers k=%d\n", bestK)
+	return nil
+}
+
+func containsGroup(cond string) bool {
+	return len(cond) >= 5 && cond[:5] == "group"
+}
+
+func accuracy(clf interface{ Predict([]float64) int }, tbl *dataset.Table) float64 {
+	correct := 0
+	for i, row := range tbl.Rows {
+		if clf.Predict(row) == tbl.Class(i) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(tbl.NumRows())
+}

@@ -1,0 +1,77 @@
+// Quickstart: the three technique families on synthetic data in ~40 lines
+// each — association rules on baskets, k-means on points, and a decision
+// tree with cross-validation on a labelled table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/assoc"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Association rules -------------------------------------------
+	db, err := synth.Baskets(synth.TxI(8, 3, 2000, 1))
+	if err != nil {
+		return err
+	}
+	res, err := (&assoc.Apriori{}).Mine(db, 0.005)
+	if err != nil {
+		return err
+	}
+	rules, err := assoc.GenerateRules(res, 0.3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("association: %d frequent itemsets, %d rules; strongest:\n", res.NumFrequent(), len(rules))
+	for i, r := range rules {
+		if i == 3 {
+			break
+		}
+		fmt.Println("  ", r)
+	}
+
+	// --- Clustering ---------------------------------------------------
+	pts, err := synth.GaussianMixture(synth.GaussianConfig{
+		NumPoints: 600, NumCluster: 4, Dims: 2, Spread: 1, Separation: 60, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	km := &cluster.KMeans{K: 4, Seed: 3}
+	cres, err := km.Run(pts.X)
+	if err != nil {
+		return err
+	}
+	ri, err := cluster.RandIndex(cres.Assignments, pts.Labels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nclustering: k-means found %d clusters, SSE %.1f, Rand index vs truth %.3f\n",
+		cres.NumClusters(), cres.Cost, ri)
+
+	// --- Classification -----------------------------------------------
+	tbl, err := synth.Classify(synth.ClassifyConfig{NumRows: 1000, Function: 3, Seed: 4})
+	if err != nil {
+		return err
+	}
+	comps, err := core.CompareClassifiers(tbl, core.Classifiers(), 5, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nclassification (5-fold CV accuracy):")
+	for _, c := range comps {
+		fmt.Printf("  %-14s %.1f%%\n", c.Name, c.Accuracy*100)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package assoc
+
+import (
+	"sort"
+
+	"repro/internal/hashtree"
+	"repro/internal/transactions"
+)
+
+// CountStrategy selects the candidate-counting data structure used by
+// Apriori. The hash tree is the paper's structure; the map counter is a
+// simpler alternative kept for the ablation benchmarks.
+type CountStrategy int
+
+const (
+	// CountHashTree counts candidates with the VLDB'94 hash tree.
+	CountHashTree CountStrategy = iota
+	// CountMap counts candidates by enumerating each transaction's
+	// k-subsets into a hash map. Exponential in transaction size for
+	// large k, but cheap for small candidate sets.
+	CountMap
+)
+
+// Apriori is the level-wise miner of Agrawal & Srikant (VLDB'94).
+type Apriori struct {
+	// Strategy selects the counting structure; zero value is the paper's
+	// hash tree.
+	Strategy CountStrategy
+	// Fanout and MaxLeaf override the hash-tree parameters when positive.
+	Fanout  int
+	MaxLeaf int
+}
+
+// Name implements Miner.
+func (a *Apriori) Name() string { return "Apriori" }
+
+// Mine implements Miner.
+func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	minCount, err := checkInput(db, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{MinCount: minCount, NumTx: db.Len()}
+
+	level := frequentOne(db, minCount)
+	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	for k := 2; len(level) > 0; k++ {
+		res.Levels = append(res.Levels, level)
+		if k == 2 && a.Strategy == CountHashTree {
+			// Pass-2 special case from the paper: C2 is the full join of
+			// L1, so candidates are counted in a triangular array indexed
+			// by L1 rank — no tree needed.
+			nCands := len(level) * (len(level) - 1) / 2
+			level = countPairsTriangular(db, level, minCount)
+			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: nCands, Frequent: len(level)})
+			continue
+		}
+		cands := aprioriGen(itemsetsOf(level))
+		if len(cands) == 0 {
+			break
+		}
+		var counted []ItemsetCount
+		if a.Strategy == CountMap {
+			counted = countWithMap(db, cands, k)
+		} else {
+			counted, err = a.countWithHashTree(db, cands, k)
+			if err != nil {
+				return nil, err
+			}
+		}
+		level = level[:0:0]
+		for _, ic := range counted {
+			if ic.Count >= minCount {
+				level = append(level, ic)
+			}
+		}
+		sortLevel(level)
+		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+	}
+	return res, nil
+}
+
+// countPairsTriangular counts every pair of frequent items with a
+// triangular array over L1 ranks — the VLDB'94 second-pass optimisation.
+// l1 is sorted by item id, so emitted pairs are already lexicographic.
+func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount int) []ItemsetCount {
+	n := len(l1)
+	if n < 2 {
+		return nil
+	}
+	rank := make([]int, db.NumItems())
+	for i := range rank {
+		rank[i] = -1
+	}
+	for r, ic := range l1 {
+		rank[ic.Items[0]] = r
+	}
+	counts := make([]int, n*(n-1)/2)
+	tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
+	ranks := make([]int, 0, 64)
+	for _, tx := range db.Transactions {
+		ranks = ranks[:0]
+		for _, item := range tx {
+			if r := rank[item]; r >= 0 {
+				ranks = append(ranks, r)
+			}
+		}
+		for a := 0; a < len(ranks); a++ {
+			for b := a + 1; b < len(ranks); b++ {
+				counts[tri(ranks[a], ranks[b])]++
+			}
+		}
+	}
+	var out []ItemsetCount
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c := counts[tri(i, j)]; c >= minCount {
+				out = append(out, ItemsetCount{
+					Items: transactions.Itemset{l1[i].Items[0], l1[j].Items[0]},
+					Count: c,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.Itemset, k int) ([]ItemsetCount, error) {
+	maxLeaf := hashtree.DefaultMaxLeaf
+	if a.MaxLeaf > 0 {
+		maxLeaf = a.MaxLeaf
+	}
+	fanout := a.Fanout
+	if fanout <= 0 {
+		// Size the fanout so that a depth-k tree can hold the candidates
+		// within the leaf capacity: leaves at depth k cannot split further,
+		// so a fixed small fanout degenerates for the huge C2 of pass 2.
+		fanout = adaptiveFanout(len(cands), k, maxLeaf)
+	}
+	tree, err := hashtree.NewWithParams(k, fanout, maxLeaf)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cands {
+		if _, err := tree.Insert(c); err != nil {
+			return nil, err
+		}
+	}
+	for tid, tx := range db.Transactions {
+		tree.CountTransaction(tx, tid)
+	}
+	entries := tree.Entries(nil)
+	out := make([]ItemsetCount, len(entries))
+	for i, e := range entries {
+		out[i] = ItemsetCount{Items: e.Items, Count: e.Count}
+	}
+	return out, nil
+}
+
+// countWithMap counts candidates by direct subset checks against a map of
+// candidate keys. To avoid enumerating all k-subsets of long transactions
+// it checks each candidate against each transaction when the candidate set
+// is small, and otherwise enumerates transaction subsets.
+func countWithMap(db *transactions.DB, cands []transactions.Itemset, k int) []ItemsetCount {
+	counts := make(map[string]int, len(cands))
+	for _, c := range cands {
+		counts[c.Key()] = 0
+	}
+	for _, tx := range db.Transactions {
+		if len(tx) < k {
+			continue
+		}
+		// Enumerate k-subsets only for small transactions; otherwise test
+		// candidates directly.
+		if choose(len(tx), k) <= len(cands) {
+			forEachSubset(tx, k, func(sub transactions.Itemset) {
+				if _, ok := counts[sub.Key()]; ok {
+					counts[sub.Key()]++
+				}
+			})
+		} else {
+			for _, c := range cands {
+				if tx.ContainsAll(c) {
+					counts[c.Key()]++
+				}
+			}
+		}
+	}
+	out := make([]ItemsetCount, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, ItemsetCount{Items: c, Count: counts[c.Key()]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
+	return out
+}
+
+// adaptiveFanout returns the smallest power of two f with f^k ≥
+// nCands/maxLeaf, clamped to [16, 4096].
+func adaptiveFanout(nCands, k, maxLeaf int) int {
+	cells := nCands/maxLeaf + 1
+	f := 16
+	for f < 4096 {
+		// f^k >= cells?
+		prod := 1
+		ok := false
+		for i := 0; i < k; i++ {
+			prod *= f
+			if prod >= cells {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		f *= 2
+	}
+	return f
+}
+
+// choose returns C(n, k) saturating at a large bound to avoid overflow.
+func choose(n, k int) int {
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return c
+}
+
+// forEachSubset calls fn for every k-subset of sorted set s. The callback
+// receives a shared buffer; it must not retain it.
+func forEachSubset(s transactions.Itemset, k int, fn func(transactions.Itemset)) {
+	buf := make(transactions.Itemset, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(buf)
+			return
+		}
+		for i := start; i <= len(s)-(k-depth); i++ {
+			buf[depth] = s[i]
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}

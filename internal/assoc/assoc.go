@@ -1,0 +1,207 @@
+// Package assoc implements the first generation of association-rule mining
+// algorithms surveyed by the SIGMOD'96 tutorial:
+//
+//   - AIS (Agrawal, Imielinski & Swami, SIGMOD'93)
+//   - SETM (Houtsma & Swami, 1995)
+//   - Apriori, AprioriTid and AprioriHybrid (Agrawal & Srikant, VLDB'94)
+//   - Partition (Savasere, Omiecinski & Navathe, VLDB'95)
+//   - DHP, direct hashing and pruning (Park, Chen & Yu, SIGMOD'95)
+//
+// plus confidence/lift rule generation (the ap-genrules procedure).
+//
+// All miners produce identical frequent-itemset results on the same input —
+// a property the test suite checks — and differ only in how much work they
+// do, which is what the EXP-A benchmarks measure.
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/transactions"
+)
+
+// ItemsetCount pairs a frequent itemset with its absolute support.
+type ItemsetCount struct {
+	Items transactions.Itemset
+	Count int
+}
+
+// PassStat records the work of one level-wise pass.
+type PassStat struct {
+	K          int // itemset length of the pass
+	Candidates int // candidates counted in the pass
+	Frequent   int // candidates that met minimum support
+}
+
+// Result is the output of any miner in this package.
+type Result struct {
+	MinCount int // absolute minimum support used
+	NumTx    int // transactions in the mined database
+	// Levels[k-1] holds the frequent k-itemsets in lexicographic order.
+	Levels [][]ItemsetCount
+	Passes []PassStat
+
+	supportIdx map[string]int
+}
+
+// Errors shared by the miners.
+var (
+	ErrBadSupport = errors.New("assoc: minimum support must be in (0, 1]")
+	ErrEmptyDB    = errors.New("assoc: empty transaction database")
+)
+
+// Miner is the common interface of all association miners.
+type Miner interface {
+	// Name identifies the algorithm, e.g. "Apriori".
+	Name() string
+	// Mine finds all itemsets with relative support >= minSupport.
+	Mine(db *transactions.DB, minSupport float64) (*Result, error)
+}
+
+// All returns every frequent itemset across levels, in level order.
+func (r *Result) All() []ItemsetCount {
+	var out []ItemsetCount
+	for _, level := range r.Levels {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// NumFrequent returns the total number of frequent itemsets.
+func (r *Result) NumFrequent() int {
+	n := 0
+	for _, level := range r.Levels {
+		n += len(level)
+	}
+	return n
+}
+
+// MaxLevel returns the length of the longest frequent itemset.
+func (r *Result) MaxLevel() int { return len(r.Levels) }
+
+// Support returns the absolute support of s if s is frequent.
+func (r *Result) Support(s transactions.Itemset) (int, bool) {
+	if r.supportIdx == nil {
+		r.supportIdx = make(map[string]int, r.NumFrequent())
+		for _, ic := range r.All() {
+			r.supportIdx[ic.Items.Key()] = ic.Count
+		}
+	}
+	c, ok := r.supportIdx[s.Key()]
+	return c, ok
+}
+
+// checkInput validates the shared Mine preconditions and returns the
+// absolute support count.
+func checkInput(db *transactions.DB, minSupport float64) (int, error) {
+	if minSupport <= 0 || minSupport > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrBadSupport, minSupport)
+	}
+	if db == nil || db.Len() == 0 {
+		return 0, ErrEmptyDB
+	}
+	return db.AbsoluteSupport(minSupport), nil
+}
+
+// frequentOne computes L1 by a counting scan, returned in item order.
+func frequentOne(db *transactions.DB, minCount int) []ItemsetCount {
+	counts := make([]int, db.NumItems())
+	for _, tx := range db.Transactions {
+		for _, item := range tx {
+			counts[item]++
+		}
+	}
+	var out []ItemsetCount
+	for item, c := range counts {
+		if c >= minCount {
+			out = append(out, ItemsetCount{Items: transactions.Itemset{item}, Count: c})
+		}
+	}
+	return out
+}
+
+// sortLevel orders a level lexicographically in place.
+func sortLevel(level []ItemsetCount) {
+	sort.Slice(level, func(i, j int) bool {
+		return level[i].Items.Compare(level[j].Items) < 0
+	})
+}
+
+// AprioriGen exposes the VLDB'94 candidate generation for reuse by the
+// sequential-pattern miners (AprioriAll's litemset phase uses the same
+// join/prune step). prev must be sorted lexicographically.
+func AprioriGen(prev []transactions.Itemset) []transactions.Itemset {
+	return aprioriGen(prev)
+}
+
+// aprioriGen implements the VLDB'94 candidate generation: the self-join of
+// L_{k-1} on the first k-2 items, followed by the subset-pruning step that
+// removes candidates with an infrequent (k-1)-subset. prev must be sorted
+// lexicographically. The returned candidates are sorted.
+func aprioriGen(prev []transactions.Itemset) []transactions.Itemset {
+	if len(prev) == 0 {
+		return nil
+	}
+	k := len(prev[0]) + 1
+	prevSet := make(map[string]struct{}, len(prev))
+	for _, p := range prev {
+		prevSet[p.Key()] = struct{}{}
+	}
+	var cands []transactions.Itemset
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			if !samePrefix(a, b, k-2) {
+				break // prev is sorted: once prefixes diverge, no more joins for i
+			}
+			// Join: a ++ last(b); a < b lexicographically so order holds.
+			cand := make(transactions.Itemset, k)
+			copy(cand, a)
+			cand[k-1] = b[k-2]
+			if hasAllSubsetsFrequent(cand, prevSet) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	return cands
+}
+
+func samePrefix(a, b transactions.Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAllSubsetsFrequent checks the Apriori prune: every (k-1)-subset of
+// cand must be in prevSet. The two subsets that formed the join are
+// members by construction, so only the others need testing, but testing
+// all keeps the code simple and the cost is identical asymptotically.
+func hasAllSubsetsFrequent(cand transactions.Itemset, prevSet map[string]struct{}) bool {
+	buf := make(transactions.Itemset, 0, len(cand)-1)
+	for drop := range cand {
+		buf = buf[:0]
+		for i, v := range cand {
+			if i != drop {
+				buf = append(buf, v)
+			}
+		}
+		if _, ok := prevSet[buf.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// itemsetsOf extracts the itemsets of a level.
+func itemsetsOf(level []ItemsetCount) []transactions.Itemset {
+	out := make([]transactions.Itemset, len(level))
+	for i, ic := range level {
+		out[i] = ic.Items
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package assoc
+
+// Condensed representations of the frequent-itemset result: maximal
+// itemsets (no frequent superset) and closed itemsets (no superset with
+// equal support). Both were folklore by the survey's era and are the
+// standard way to summarise a large result set.
+
+// MaximalItemsets returns the frequent itemsets with no frequent superset,
+// in level order. By anti-monotonicity it suffices to check supersets one
+// item larger: any larger frequent superset implies a frequent
+// (k+1)-superset.
+func (r *Result) MaximalItemsets() []ItemsetCount {
+	var out []ItemsetCount
+	for k := 0; k < len(r.Levels); k++ {
+		for _, ic := range r.Levels[k] {
+			maximal := true
+			if k+1 < len(r.Levels) {
+				for _, sup := range r.Levels[k+1] {
+					if sup.Items.ContainsAll(ic.Items) {
+						maximal = false
+						break
+					}
+				}
+			}
+			if maximal {
+				out = append(out, ic)
+			}
+		}
+	}
+	return out
+}
+
+// ClosedItemsets returns the frequent itemsets with no superset of equal
+// support, in level order. The same one-level-up argument applies: if a
+// larger superset has equal support, so does the intermediate
+// (k+1)-superset (support is monotone non-increasing along the chain).
+func (r *Result) ClosedItemsets() []ItemsetCount {
+	var out []ItemsetCount
+	for k := 0; k < len(r.Levels); k++ {
+		for _, ic := range r.Levels[k] {
+			closed := true
+			if k+1 < len(r.Levels) {
+				for _, sup := range r.Levels[k+1] {
+					if sup.Count == ic.Count && sup.Items.ContainsAll(ic.Items) {
+						closed = false
+						break
+					}
+				}
+			}
+			if closed {
+				out = append(out, ic)
+			}
+		}
+	}
+	return out
+}

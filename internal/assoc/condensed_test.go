@@ -1,0 +1,97 @@
+package assoc
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+func TestMaximalItemsetsPaperExample(t *testing.T) {
+	res := minedPaper(t)
+	maximal := res.MaximalItemsets()
+	keys := map[string]bool{}
+	for _, ic := range maximal {
+		keys[ic.Items.Key()] = true
+	}
+	// Frequent sets: 1,2,3,5, 13,23,25,35, 235.
+	// Maximal: {1,3} and {2,3,5}.
+	if len(maximal) != 2 || !keys["1,3"] || !keys["2,3,5"] {
+		t.Errorf("maximal = %v", keys)
+	}
+}
+
+func TestClosedItemsetsPaperExample(t *testing.T) {
+	res := minedPaper(t)
+	closed := res.ClosedItemsets()
+	keys := map[string]bool{}
+	for _, ic := range closed {
+		keys[ic.Items.Key()] = true
+	}
+	// {1} (sup 2) is not closed: {1,3} has sup 2. {2} (3) -> {2,5} sup 3:
+	// not closed. {5} (3) -> {2,5} sup 3: not closed. {3} (3): supersets
+	// 13(2) 23(2) 35(2) all smaller -> closed. {2,5} (3) closed.
+	// {1,3}(2): superset? none frequent -> closed. {2,3}(2) -> {2,3,5}(2):
+	// not closed. {3,5}(2) -> 235(2): not closed. {2,3,5}(2) closed.
+	want := map[string]bool{"3": true, "2,5": true, "1,3": true, "2,3,5": true}
+	if len(keys) != len(want) {
+		t.Fatalf("closed = %v, want %v", keys, want)
+	}
+	for k := range want {
+		if !keys[k] {
+			t.Errorf("missing closed itemset %s", k)
+		}
+	}
+}
+
+func TestCondensedInvariants(t *testing.T) {
+	db, err := synth.Baskets(synth.TxI(8, 3, 400, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Apriori{}).Mine(db, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := res.MaximalItemsets()
+	closed := res.ClosedItemsets()
+	// Maximal ⊆ closed ⊆ frequent.
+	closedKeys := map[string]bool{}
+	for _, ic := range closed {
+		closedKeys[ic.Items.Key()] = true
+	}
+	for _, ic := range maximal {
+		if !closedKeys[ic.Items.Key()] {
+			t.Errorf("maximal itemset %v not closed", ic.Items)
+		}
+	}
+	if len(maximal) > len(closed) || len(closed) > res.NumFrequent() {
+		t.Errorf("sizes: maximal %d, closed %d, frequent %d",
+			len(maximal), len(closed), res.NumFrequent())
+	}
+	// Every frequent itemset is a subset of some maximal itemset.
+	for _, ic := range res.All() {
+		found := false
+		for _, m := range maximal {
+			if m.Items.ContainsAll(ic.Items) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("frequent %v not covered by any maximal itemset", ic.Items)
+		}
+	}
+	// Closedness verified against the database directly.
+	for _, ic := range closed {
+		for item := 0; item < db.NumItems(); item++ {
+			if ic.Items.Contains(item) {
+				continue
+			}
+			super := ic.Items.Union(transactions.Itemset{item})
+			if db.Support(super) == ic.Count {
+				t.Fatalf("%v (sup %d) is not closed: %v has equal support", ic.Items, ic.Count, super)
+			}
+		}
+	}
+}

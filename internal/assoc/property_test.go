@@ -1,0 +1,143 @@
+package assoc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transactions"
+)
+
+// bruteForceFrequent enumerates every itemset over a small universe and
+// counts supports directly — the oracle for the miners.
+func bruteForceFrequent(db *transactions.DB, minCount, universe int) map[string]int {
+	out := make(map[string]int)
+	var rec func(start int, current transactions.Itemset)
+	rec = func(start int, current transactions.Itemset) {
+		for item := start; item < universe; item++ {
+			next := append(current, item)
+			sup := db.Support(next)
+			if sup >= minCount {
+				out[next.Key()] = sup
+				rec(item+1, next)
+			}
+			// Anti-monotonicity: no superset of an infrequent set can be
+			// frequent, so not recursing is exact, not a heuristic.
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestMinersMatchBruteForceProperty drives every miner against the oracle
+// on random small databases.
+func TestMinersMatchBruteForceProperty(t *testing.T) {
+	const universe = 8
+	f := func(seed int64, minRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := transactions.NewDB()
+		nTx := 4 + rng.Intn(20)
+		for i := 0; i < nTx; i++ {
+			n := 1 + rng.Intn(5)
+			items := make([]int, n)
+			for j := range items {
+				items[j] = rng.Intn(universe)
+			}
+			if err := db.Add(items...); err != nil {
+				return false
+			}
+		}
+		minSup := 0.1 + float64(minRaw%60)/100.0 // 10%..69%
+		minCount := db.AbsoluteSupport(minSup)
+		want := bruteForceFrequent(db, minCount, universe)
+		for _, m := range allMiners() {
+			res, err := m.Mine(db, minSup)
+			if err != nil {
+				t.Logf("%s: %v", m.Name(), err)
+				return false
+			}
+			got := resultMap(res)
+			if len(got) != len(want) {
+				t.Logf("%s: %d itemsets, oracle %d (seed %d minSup %v)",
+					m.Name(), len(got), len(want), seed, minSup)
+				return false
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Logf("%s: support(%s)=%d, oracle %d", m.Name(), k, got[k], v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRuleCompletenessProperty checks ap-genrules against brute-force rule
+// enumeration on random databases.
+func TestRuleCompletenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := transactions.NewDB()
+		for i := 0; i < 12; i++ {
+			n := 1 + rng.Intn(4)
+			items := make([]int, n)
+			for j := range items {
+				items[j] = rng.Intn(6)
+			}
+			if err := db.Add(items...); err != nil {
+				return false
+			}
+		}
+		res, err := (&Apriori{}).Mine(db, 0.25)
+		if err != nil {
+			return false
+		}
+		const minConf = 0.6
+		rules, err := GenerateRules(res, minConf)
+		if err != nil {
+			return false
+		}
+		got := make(map[string]bool, len(rules))
+		for _, r := range rules {
+			got[r.Antecedent.Key()+">"+r.Consequent.Key()] = true
+		}
+		// Oracle: every split of every frequent itemset.
+		count := 0
+		for _, ic := range res.All() {
+			n := len(ic.Items)
+			if n < 2 {
+				continue
+			}
+			for mask := 1; mask < (1<<n)-1; mask++ {
+				var ante, cons transactions.Itemset
+				for b := 0; b < n; b++ {
+					if mask&(1<<b) != 0 {
+						ante = append(ante, ic.Items[b])
+					} else {
+						cons = append(cons, ic.Items[b])
+					}
+				}
+				conf := float64(ic.Count) / float64(db.Support(ante))
+				key := ante.Key() + ">" + cons.Key()
+				if conf >= minConf {
+					count++
+					if !got[key] {
+						t.Logf("missing rule %s (seed %d)", key, seed)
+						return false
+					}
+				} else if got[key] {
+					t.Logf("spurious rule %s (seed %d)", key, seed)
+					return false
+				}
+			}
+		}
+		return len(rules) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package assoc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/transactions"
+)
+
+// Rule is an association rule Antecedent => Consequent with its quality
+// measures. Support is the absolute support of the union; Confidence is
+// support(union)/support(antecedent); Lift is confidence divided by the
+// consequent's relative support.
+type Rule struct {
+	Antecedent transactions.Itemset
+	Consequent transactions.Itemset
+	Support    int
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule as "{a} => {b} (sup=…, conf=…, lift=…)".
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%d, conf=%.3f, lift=%.3f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// ErrBadConfidence reports an out-of-range minimum confidence.
+var ErrBadConfidence = errors.New("assoc: minimum confidence must be in (0, 1]")
+
+// GenerateRules derives all rules meeting minConfidence from the frequent
+// itemsets of res, using the VLDB'94 ap-genrules procedure: for each
+// frequent itemset, 1-item consequents are tested first and larger
+// consequents are grown with aprioriGen, exploiting the fact that moving
+// items from the antecedent to the consequent can only lower confidence.
+// Rules are returned sorted by descending confidence, then descending
+// support, then antecedent order, for deterministic output.
+func GenerateRules(res *Result, minConfidence float64) ([]Rule, error) {
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfidence, minConfidence)
+	}
+	if res == nil || res.NumTx == 0 {
+		return nil, ErrEmptyDB
+	}
+	var rules []Rule
+	for k := 2; k <= res.MaxLevel(); k++ {
+		for _, ic := range res.Levels[k-1] {
+			rules = appendRulesFor(res, ic, minConfidence, rules)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if c := a.Antecedent.Compare(b.Antecedent); c != 0 {
+			return c < 0
+		}
+		return a.Consequent.Compare(b.Consequent) < 0
+	})
+	return rules, nil
+}
+
+// appendRulesFor emits the rules of a single frequent itemset.
+func appendRulesFor(res *Result, ic ItemsetCount, minConf float64, rules []Rule) []Rule {
+	// Start with all 1-item consequents that pass the confidence bar.
+	var consequents []transactions.Itemset
+	for _, item := range ic.Items {
+		cons := transactions.Itemset{item}
+		if r, ok := makeRule(res, ic, cons, minConf); ok {
+			rules = append(rules, r)
+			consequents = append(consequents, cons)
+		}
+	}
+	// Grow consequents: a consequent of size m+1 can only pass if all its
+	// m-subsets passed, so aprioriGen applies directly.
+	for len(consequents) > 0 && len(consequents[0])+1 < len(ic.Items) {
+		next := aprioriGen(consequents)
+		consequents = consequents[:0]
+		for _, cons := range next {
+			if r, ok := makeRule(res, ic, cons, minConf); ok {
+				rules = append(rules, r)
+				consequents = append(consequents, cons)
+			}
+		}
+	}
+	return rules
+}
+
+// makeRule builds the rule ic.Items \ cons => cons if it meets minConf.
+func makeRule(res *Result, ic ItemsetCount, cons transactions.Itemset, minConf float64) (Rule, bool) {
+	ante := diff(ic.Items, cons)
+	anteSup, ok := res.Support(ante)
+	if !ok || anteSup == 0 {
+		return Rule{}, false
+	}
+	conf := float64(ic.Count) / float64(anteSup)
+	if conf < minConf {
+		return Rule{}, false
+	}
+	consSup, ok := res.Support(cons)
+	lift := 0.0
+	if ok && consSup > 0 {
+		lift = conf / (float64(consSup) / float64(res.NumTx))
+	}
+	return Rule{
+		Antecedent: ante,
+		Consequent: cons,
+		Support:    ic.Count,
+		Confidence: conf,
+		Lift:       lift,
+	}, true
+}
+
+// diff returns the sorted set difference a \ b.
+func diff(a, b transactions.Itemset) transactions.Itemset {
+	out := make(transactions.Itemset, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

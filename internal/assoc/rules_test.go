@@ -1,0 +1,205 @@
+package assoc
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+func minedPaper(t *testing.T) *Result {
+	t.Helper()
+	res, err := (&Apriori{}).Mine(paperDB(t), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGenerateRulesKnownValues(t *testing.T) {
+	res := minedPaper(t)
+	rules, err := GenerateRules(res, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From {2,5} sup 3: 2=>5 conf 3/3=1.0; 5=>2 conf 3/3=1.0.
+	// From {2,3,5} sup 2: 3=>2,5? support(3)=3 conf 2/3 <0.9 excluded;
+	// {2,3}=>5 conf 2/2=1.0; {3,5}=>2 conf 2/2=1.0; {2,5}=>3 conf 2/3 no.
+	// From {1,3}: 1=>3 conf 2/2=1.0; 3=>1 conf 2/3 no.
+	// From {2,3}: 2=>3 conf 2/3; 3=>2 conf 2/3 no. {3,5}: both 2/3 no.
+	want := map[string]bool{
+		"{2} => {5}":    true,
+		"{5} => {2}":    true,
+		"{1} => {3}":    true,
+		"{2, 3} => {5}": true,
+		"{3, 5} => {2}": true,
+	}
+	if len(rules) != len(want) {
+		var got []string
+		for _, r := range rules {
+			got = append(got, r.String())
+		}
+		t.Fatalf("rules = %v, want %d", got, len(want))
+	}
+	for _, r := range rules {
+		key := r.Antecedent.String() + " => " + r.Consequent.String()
+		if !want[key] {
+			t.Errorf("unexpected rule %s", r)
+		}
+		if r.Confidence < 0.9 {
+			t.Errorf("rule %s below min confidence", r)
+		}
+	}
+}
+
+func TestRuleLift(t *testing.T) {
+	res := minedPaper(t)
+	rules, err := GenerateRules(res, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Antecedent.String() == "{2}" && r.Consequent.String() == "{5}" {
+			// conf 1.0, support(5)/N = 3/4 => lift 4/3.
+			if math.Abs(r.Lift-4.0/3.0) > 1e-12 {
+				t.Errorf("lift = %v, want 4/3", r.Lift)
+			}
+			return
+		}
+	}
+	t.Fatal("rule {2}=>{5} not found")
+}
+
+func TestGenerateRulesSortedByConfidence(t *testing.T) {
+	res := minedPaper(t)
+	rules, err := GenerateRules(res, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Fatalf("rules not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateRulesConfidenceCorrect(t *testing.T) {
+	// Every emitted rule's confidence must equal sup(union)/sup(antecedent)
+	// computed from scratch.
+	db, err := synth.Baskets(synth.TxI(6, 2, 200, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Apriori{}).Mine(db, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := GenerateRules(res, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		union := r.Antecedent.Union(r.Consequent)
+		wantSup := db.Support(union)
+		if r.Support != wantSup {
+			t.Errorf("rule %s support = %d, want %d", r, r.Support, wantSup)
+		}
+		anteSup := db.Support(r.Antecedent)
+		wantConf := float64(wantSup) / float64(anteSup)
+		if math.Abs(r.Confidence-wantConf) > 1e-12 {
+			t.Errorf("rule %s confidence = %v, want %v", r, r.Confidence, wantConf)
+		}
+		if r.Confidence < 0.4 {
+			t.Errorf("rule %s below threshold", r)
+		}
+	}
+}
+
+func TestGenerateRulesComplete(t *testing.T) {
+	// Cross-check against brute-force enumeration of all antecedent
+	// partitions of every frequent itemset.
+	res := minedPaper(t)
+	rules, err := GenerateRules(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, r := range rules {
+		got[r.Antecedent.Key()+"=>"+r.Consequent.Key()] = true
+	}
+	count := 0
+	for _, ic := range res.All() {
+		if len(ic.Items) < 2 {
+			continue
+		}
+		n := len(ic.Items)
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			var ante, cons transactions.Itemset
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					ante = append(ante, ic.Items[b])
+				} else {
+					cons = append(cons, ic.Items[b])
+				}
+			}
+			anteSup, ok := res.Support(ante)
+			if !ok {
+				t.Fatalf("antecedent %v not frequent", ante)
+			}
+			conf := float64(ic.Count) / float64(anteSup)
+			key := ante.Key() + "=>" + cons.Key()
+			if conf >= 0.5 {
+				count++
+				if !got[key] {
+					t.Errorf("missing rule %v => %v (conf %v)", ante, cons, conf)
+				}
+			} else if got[key] {
+				t.Errorf("rule %v => %v should not pass (conf %v)", ante, cons, conf)
+			}
+		}
+	}
+	if len(rules) != count {
+		t.Errorf("rule count = %d, brute force = %d", len(rules), count)
+	}
+}
+
+func TestGenerateRulesValidation(t *testing.T) {
+	res := minedPaper(t)
+	if _, err := GenerateRules(res, 0); !errors.Is(err, ErrBadConfidence) {
+		t.Errorf("conf 0 error = %v", err)
+	}
+	if _, err := GenerateRules(res, 1.1); !errors.Is(err, ErrBadConfidence) {
+		t.Errorf("conf 1.1 error = %v", err)
+	}
+	if _, err := GenerateRules(nil, 0.5); !errors.Is(err, ErrEmptyDB) {
+		t.Errorf("nil result error = %v", err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: transactions.NewItemset(1),
+		Consequent: transactions.NewItemset(2),
+		Support:    3, Confidence: 0.75, Lift: 1.5,
+	}
+	s := r.String()
+	for _, frag := range []string{"{1}", "{2}", "sup=3", "conf=0.750", "lift=1.500"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := transactions.NewItemset(1, 2, 3, 4)
+	b := transactions.NewItemset(2, 4)
+	if got := diff(a, b); !got.Equal(transactions.NewItemset(1, 3)) {
+		t.Errorf("diff = %v", got)
+	}
+	if got := diff(a, transactions.NewItemset()); !got.Equal(a) {
+		t.Errorf("diff empty = %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package assoc
+
+import (
+	"sort"
+
+	"repro/internal/transactions"
+)
+
+// Eclat mines frequent itemsets in the vertical (tid-list) layout:
+// candidate tid-lists are the intersections of their generators'
+// tid-lists, so support counting needs no database rescans (Zaki et al.;
+// the same machinery the Partition algorithm applies per partition —
+// here run over the whole database).
+type Eclat struct{}
+
+// Name implements Miner.
+func (e *Eclat) Name() string { return "Eclat" }
+
+// Mine implements Miner.
+func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	minCount, err := checkInput(db, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{MinCount: minCount, NumTx: db.Len()}
+	vert := db.ToVertical()
+
+	type node struct {
+		items transactions.Itemset
+		tids  []int
+	}
+	items := make([]int, 0, len(vert.TIDLists))
+	for item := range vert.TIDLists {
+		items = append(items, item)
+	}
+	sort.Ints(items)
+	var level []node
+	for _, item := range items {
+		if tids := vert.TIDLists[item]; len(tids) >= minCount {
+			level = append(level, node{items: transactions.Itemset{item}, tids: tids})
+		}
+	}
+	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+
+	for k := 1; len(level) > 0; k++ {
+		counts := make([]ItemsetCount, len(level))
+		for i, nd := range level {
+			counts[i] = ItemsetCount{Items: nd.items, Count: len(nd.tids)}
+		}
+		res.Levels = append(res.Levels, counts)
+
+		var next []node
+		candidates := 0
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !samePrefix(a.items, b.items, len(a.items)-1) {
+					break
+				}
+				candidates++
+				tids := transactions.IntersectSorted(a.tids, b.tids)
+				if len(tids) < minCount {
+					continue
+				}
+				cand := make(transactions.Itemset, len(a.items)+1)
+				copy(cand, a.items)
+				cand[len(a.items)] = b.items[len(b.items)-1]
+				next = append(next, node{items: cand, tids: tids})
+			}
+		}
+		if candidates > 0 {
+			res.Passes = append(res.Passes, PassStat{K: k + 1, Candidates: candidates, Frequent: len(next)})
+		}
+		level = next
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// DBSCAN is the density-based clusterer of Ester, Kriegel, Sander & Xu
+// (KDD'96). A point with at least MinPts neighbours within Eps is a core
+// point; clusters are the maximal sets of density-connected points; the
+// rest is noise (label -1).
+//
+// The paper used an R*-tree for region queries; this implementation offers
+// a uniform grid index with cell side Eps (UseIndex), which serves the
+// same purpose on the low-dimensional benchmark data, plus the O(n²)
+// brute-force scan for the runtime comparison.
+type DBSCAN struct {
+	Eps      float64
+	MinPts   int
+	UseIndex bool
+}
+
+// Run clusters the points.
+func (d *DBSCAN) Run(points [][]float64) (*Result, error) {
+	n, dims, err := validate(points)
+	if err != nil {
+		return nil, err
+	}
+	if d.Eps <= 0 || d.MinPts < 1 {
+		return nil, fmt.Errorf("%w: eps=%v minPts=%d", ErrBadParams, d.Eps, d.MinPts)
+	}
+	var query func(i int) []int
+	if d.UseIndex {
+		g := newGridIndex(points, d.Eps, dims)
+		query = func(i int) []int { return g.regionQuery(points, i, d.Eps) }
+	} else {
+		query = func(i int) []int { return bruteRegionQuery(points, i, d.Eps) }
+	}
+
+	const unvisited = -2
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	clusterID := 0
+	for i := 0; i < n; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		neighbors := query(i)
+		if len(neighbors) < d.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = clusterID
+		// Expand cluster with a worklist; a noise point reached here
+		// becomes a border point of the cluster.
+		queue := append([]int(nil), neighbors...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = clusterID
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = clusterID
+			jn := query(j)
+			if len(jn) >= d.MinPts {
+				queue = append(queue, jn...)
+			}
+		}
+		clusterID++
+	}
+	return &Result{Assignments: labels}, nil
+}
+
+func bruteRegionQuery(points [][]float64, i int, eps float64) []int {
+	var out []int
+	eps2 := eps * eps
+	for j, p := range points {
+		if SquaredEuclidean(points[i], p) <= eps2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// gridIndex buckets points into cells of side eps; a region query only
+// inspects the 3^dims neighbouring cells.
+type gridIndex struct {
+	eps   float64
+	dims  int
+	cells map[string][]int
+	mins  []float64
+}
+
+func newGridIndex(points [][]float64, eps float64, dims int) *gridIndex {
+	g := &gridIndex{eps: eps, dims: dims, cells: make(map[string][]int)}
+	g.mins = make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		g.mins[d] = math.Inf(1)
+		for _, p := range points {
+			if p[d] < g.mins[d] {
+				g.mins[d] = p[d]
+			}
+		}
+	}
+	for i, p := range points {
+		key := g.cellKey(g.coords(p))
+		g.cells[key] = append(g.cells[key], i)
+	}
+	return g
+}
+
+func (g *gridIndex) coords(p []float64) []int {
+	c := make([]int, g.dims)
+	for d := 0; d < g.dims; d++ {
+		c[d] = int(math.Floor((p[d] - g.mins[d]) / g.eps))
+	}
+	return c
+}
+
+func (g *gridIndex) cellKey(c []int) string {
+	out := make([]byte, 0, len(c)*4)
+	for i, v := range c {
+		if i > 0 {
+			out = append(out, ':')
+		}
+		if v < 0 {
+			out = append(out, '-')
+			v = -v
+		}
+		out = appendUint(out, v)
+	}
+	return string(out)
+}
+
+func appendUint(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+func (g *gridIndex) regionQuery(points [][]float64, i int, eps float64) []int {
+	base := g.coords(points[i])
+	eps2 := eps * eps
+	var out []int
+	// Enumerate the 3^dims neighbourhood.
+	offsets := make([]int, g.dims)
+	for d := range offsets {
+		offsets[d] = -1
+	}
+	cell := make([]int, g.dims)
+	for {
+		for d := range cell {
+			cell[d] = base[d] + offsets[d]
+		}
+		for _, j := range g.cells[g.cellKey(cell)] {
+			if SquaredEuclidean(points[i], points[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		// Odometer increment over {-1,0,1}^dims.
+		d := 0
+		for ; d < g.dims; d++ {
+			offsets[d]++
+			if offsets[d] <= 1 {
+				break
+			}
+			offsets[d] = -1
+		}
+		if d == g.dims {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestKMeansMaxIterRespected(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}, {20}, {21}}
+	res, err := (&KMeans{K: 3, MaxIter: 1, Seed: 1}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestKMeansToleranceStopsEarly(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}}
+	strict, err := (&KMeans{K: 2, Seed: 1}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := (&KMeans{K: 2, Seed: 1, Tolerance: 1e9}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Iterations > strict.Iterations {
+		t.Errorf("huge tolerance iterated more: %d vs %d", loose.Iterations, strict.Iterations)
+	}
+}
+
+func TestKMeansEqualsN(t *testing.T) {
+	pts := [][]float64{{0}, {5}, {10}}
+	res, err := (&KMeans{K: 3, Seed: 2}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-9 {
+		t.Errorf("k=n cost = %v, want 0", res.Cost)
+	}
+}
+
+func TestCLARASampleLargerThanN(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}, {20}}
+	res, err := (&CLARA{K: 2, SampleSize: 100, NumSamples: 2, Seed: 1}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Errorf("medoids = %v", res.Medoids)
+	}
+}
+
+func TestHierarchicalSinglePoint(t *testing.T) {
+	dend, err := (&Hierarchical{}).Run([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dend.Merges) != 0 {
+		t.Errorf("merges = %d", len(dend.Merges))
+	}
+	labels, err := dend.CutK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	// Points far apart with strict parameters: everything is noise.
+	pts := [][]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}
+	res, err := (&DBSCAN{Eps: 1, MinPts: 2}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Assignments {
+		if a != Noise {
+			t.Errorf("point %d = %d, want noise", i, a)
+		}
+	}
+	if res.NumClusters() != 0 {
+		t.Errorf("clusters = %d", res.NumClusters())
+	}
+}
+
+func TestDBSCANSingleCluster(t *testing.T) {
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{float64(i) * 0.1, 0})
+	}
+	res, err := (&DBSCAN{Eps: 0.2, MinPts: 3}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 1 {
+		t.Errorf("clusters = %d", res.NumClusters())
+	}
+}
+
+func TestBIRCHSmallerThanK(t *testing.T) {
+	// Fewer leaf entries than k triggers the k-means fallback.
+	pts := [][]float64{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}, {20, 0}, {20.1, 0}}
+	res, err := (&BIRCH{K: 3, Threshold: 100, Seed: 1}).Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != len(pts) {
+		t.Errorf("assignments = %d", len(res.Assignments))
+	}
+}
+
+func TestMedoidCostZeroWhenAllMedoids(t *testing.T) {
+	pts := [][]float64{{1}, {2}, {3}}
+	if got := MedoidCost(pts, []int{0, 1, 2}); got != 0 {
+		t.Errorf("cost = %v", got)
+	}
+}
+
+func TestSSESkipsNoise(t *testing.T) {
+	pts := [][]float64{{0}, {10}}
+	centers := [][]float64{{0}}
+	got := SSE(pts, []int{0, Noise}, centers)
+	if got != 0 {
+		t.Errorf("SSE = %v, want 0 (noise skipped)", got)
+	}
+}

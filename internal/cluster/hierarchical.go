@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linkage selects the inter-cluster distance update rule for agglomerative
+// clustering, implemented via the Lance–Williams recurrence.
+type Linkage int
+
+const (
+	// SingleLinkage merges on minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage merges on unweighted average pairwise distance (UPGMA).
+	AverageLinkage
+	// WardLinkage minimises the within-cluster variance increase.
+	WardLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	case WardLinkage:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step. Cluster ids: 0..n-1 are the
+// original points; n+i is the cluster created by step i.
+type Merge struct {
+	A, B     int
+	Distance float64
+	Size     int // points in the merged cluster
+}
+
+// Dendrogram is the full merge history of an agglomerative run.
+type Dendrogram struct {
+	NumPoints int
+	Merges    []Merge
+}
+
+// Hierarchical is the naive O(n³) agglomerative algorithm of the textbook
+// era, adequate for the survey's dataset sizes.
+type Hierarchical struct {
+	Linkage Linkage
+}
+
+// Run builds the full dendrogram.
+func (h *Hierarchical) Run(points [][]float64) (*Dendrogram, error) {
+	n, _, err := validate(points)
+	if err != nil {
+		return nil, err
+	}
+	// active clusters; each has an id, member count, and for Ward the
+	// distances start as squared Euclidean.
+	type clust struct {
+		id   int
+		size int
+	}
+	active := make([]clust, n)
+	for i := range active {
+		active[i] = clust{id: i, size: 1}
+	}
+	// Distance matrix over active cluster positions.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i == j {
+				continue
+			}
+			if h.Linkage == WardLinkage {
+				dist[i][j] = SquaredEuclidean(points[i], points[j])
+			} else {
+				dist[i][j] = Euclidean(points[i], points[j])
+			}
+		}
+	}
+
+	dend := &Dendrogram{NumPoints: n}
+	nextID := n
+	for len(active) > 1 {
+		// Find the closest pair of active clusters.
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				if dist[i][j] < bd {
+					bi, bj, bd = i, j, dist[i][j]
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		merged := clust{id: nextID, size: a.size + b.size}
+		nextID++
+		reported := bd
+		if h.Linkage == WardLinkage {
+			reported = math.Sqrt(bd)
+		}
+		dend.Merges = append(dend.Merges, Merge{A: a.id, B: b.id, Distance: reported, Size: merged.size})
+
+		// Lance–Williams update of distances from the merged cluster to
+		// every other active cluster; store into row/col bi, drop bj.
+		for x := 0; x < len(active); x++ {
+			if x == bi || x == bj {
+				continue
+			}
+			dax, dbx := dist[bi][x], dist[bj][x]
+			var nd float64
+			switch h.Linkage {
+			case SingleLinkage:
+				nd = math.Min(dax, dbx)
+			case CompleteLinkage:
+				nd = math.Max(dax, dbx)
+			case AverageLinkage:
+				na, nb := float64(a.size), float64(b.size)
+				nd = (na*dax + nb*dbx) / (na + nb)
+			case WardLinkage:
+				na, nb, nx := float64(a.size), float64(b.size), float64(active[x].size)
+				tot := na + nb + nx
+				nd = ((na+nx)*dax + (nb+nx)*dbx - nx*bd) / tot
+			}
+			dist[bi][x] = nd
+			dist[x][bi] = nd
+		}
+		active[bi] = merged
+		// Remove position bj by swapping with the last and shrinking.
+		last := len(active) - 1
+		active[bj] = active[last]
+		for x := 0; x < len(active); x++ {
+			dist[bj][x] = dist[last][x]
+			dist[x][bj] = dist[x][last]
+		}
+		dist[bj][bj] = 0
+		active = active[:last]
+	}
+	return dend, nil
+}
+
+// CutK flattens the dendrogram into exactly k clusters (the state after
+// n-k merges) and returns per-point labels 0..k-1.
+func (d *Dendrogram) CutK(k int) ([]int, error) {
+	if k < 1 || k > d.NumPoints {
+		return nil, fmt.Errorf("%w: k=%d, n=%d", ErrBadK, k, d.NumPoints)
+	}
+	parent := make([]int, d.NumPoints+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	steps := d.NumPoints - k
+	for i := 0; i < steps; i++ {
+		m := d.Merges[i]
+		newID := d.NumPoints + i
+		parent[find(m.A)] = newID
+		parent[find(m.B)] = newID
+	}
+	labels := make([]int, d.NumPoints)
+	rootToLabel := make(map[int]int)
+	for i := 0; i < d.NumPoints; i++ {
+		r := find(i)
+		l, ok := rootToLabel[r]
+		if !ok {
+			l = len(rootToLabel)
+			rootToLabel[r] = l
+		}
+		labels[i] = l
+	}
+	return labels, nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// Seeding selects the k-means initialisation strategy.
+type Seeding int
+
+const (
+	// SeedForgy picks k distinct input points as initial centers — the
+	// classic Forgy initialisation.
+	SeedForgy Seeding = iota
+	// SeedRandomPartition assigns points to random clusters and uses the
+	// partition means as initial centers (MacQueen-style start).
+	SeedRandomPartition
+)
+
+// KMeans is Lloyd's algorithm with configurable seeding.
+type KMeans struct {
+	K       int
+	MaxIter int // zero means 100
+	Seed    int64
+	Seeding Seeding
+	// Tolerance stops iteration when the SSE improvement falls below it.
+	Tolerance float64
+}
+
+// Run clusters the points. Empty clusters are re-seeded with the point
+// farthest from its center, the standard repair.
+func (km *KMeans) Run(points [][]float64) (*Result, error) {
+	n, dims, err := validateK(points, km.K)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := km.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(km.Seed))
+	centers := km.initialCenters(points, n, dims, rng)
+	assignments := make([]int, n)
+
+	prevCost := math.Inf(1)
+	cost := 0.0
+	iters := 0
+	for iters = 1; iters <= maxIter; iters++ {
+		cost = assignToNearest(points, centers, assignments)
+
+		// Recompute means.
+		counts := make([]int, km.K)
+		for c := range centers {
+			for d := range centers[c] {
+				centers[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assignments[i]
+			counts[c]++
+			for d := range p {
+				centers[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Repair: re-seed the empty cluster with a random point.
+				copy(centers[c], points[rng.Intn(n)])
+				counts[c] = 1
+				continue
+			}
+			for d := range centers[c] {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+		if prevCost-cost <= km.Tolerance && iters > 1 {
+			break
+		}
+		prevCost = cost
+	}
+	if iters > maxIter {
+		iters = maxIter // loop exited by bound, not by convergence
+	}
+	// Final assignment against the final centers.
+	cost = assignToNearest(points, centers, assignments)
+	return &Result{
+		Assignments: assignments,
+		Centers:     centers,
+		Cost:        cost,
+		Iterations:  iters,
+	}, nil
+}
+
+func (km *KMeans) initialCenters(points [][]float64, n, dims int, rng *rand.Rand) [][]float64 {
+	centers := make([][]float64, km.K)
+	switch km.Seeding {
+	case SeedRandomPartition:
+		counts := make([]int, km.K)
+		for c := range centers {
+			centers[c] = make([]float64, dims)
+		}
+		for _, p := range points {
+			c := rng.Intn(km.K)
+			counts[c]++
+			for d := range p {
+				centers[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				copy(centers[c], points[rng.Intn(n)])
+				continue
+			}
+			for d := range centers[c] {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+	default: // SeedForgy
+		for i, idx := range stats.SampleWithoutReplacement(rng, n, km.K) {
+			centers[i] = append([]float64(nil), points[idx]...)
+		}
+	}
+	return centers
+}

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// PAM is Kaufman & Rousseeuw's Partitioning Around Medoids: a greedy BUILD
+// phase followed by a SWAP phase that examines every (medoid, non-medoid)
+// exchange until no swap improves the cost. Exact but O(k(n-k)^2) per
+// iteration — the baseline CLARA and CLARANS approximate.
+type PAM struct {
+	K       int
+	MaxIter int // zero means 100 swap rounds
+}
+
+// Run clusters the points.
+func (p *PAM) Run(points [][]float64) (*Result, error) {
+	if _, _, err := validateK(points, p.K); err != nil {
+		return nil, err
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	medoids := pamBuild(points, p.K)
+	iters := pamSwap(points, medoids, maxIter)
+	return medoidResult(points, medoids, iters), nil
+}
+
+// pamBuild greedily selects medoids: the first minimises total distance;
+// each next one maximises the cost reduction.
+func pamBuild(points [][]float64, k int) []int {
+	n := len(points)
+	medoids := make([]int, 0, k)
+
+	// First medoid: point with minimal total distance to all others.
+	best, bestCost := 0, math.Inf(1)
+	for i := range points {
+		c := 0.0
+		for j := range points {
+			c += Euclidean(points[i], points[j])
+		}
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	medoids = append(medoids, best)
+
+	// nearest[i] is the distance from i to its closest chosen medoid.
+	nearest := make([]float64, n)
+	for i := range points {
+		nearest[i] = Euclidean(points[i], points[best])
+	}
+	for len(medoids) < k {
+		bestGain, bestIdx := -1.0, -1
+		for cand := range points {
+			if contains(medoids, cand) {
+				continue
+			}
+			gain := 0.0
+			for j := range points {
+				if d := Euclidean(points[j], points[cand]); d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, cand
+			}
+		}
+		medoids = append(medoids, bestIdx)
+		for j := range points {
+			if d := Euclidean(points[j], points[bestIdx]); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+	return medoids
+}
+
+// pamSwap performs best-improvement swaps until a local optimum, mutating
+// medoids in place, and returns the number of swap rounds.
+func pamSwap(points [][]float64, medoids []int, maxIter int) int {
+	cost := MedoidCost(points, medoids)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		bestCost, bestM, bestC := cost, -1, -1
+		for mi := range medoids {
+			saved := medoids[mi]
+			for cand := range points {
+				if contains(medoids, cand) {
+					continue
+				}
+				medoids[mi] = cand
+				if c := MedoidCost(points, medoids); c < bestCost {
+					bestCost, bestM, bestC = c, mi, cand
+				}
+			}
+			medoids[mi] = saved
+		}
+		if bestM < 0 {
+			break
+		}
+		medoids[bestM] = bestC
+		cost = bestCost
+	}
+	return iters
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// medoidResult assigns points to their closest medoid.
+func medoidResult(points [][]float64, medoids []int, iters int) *Result {
+	assignments := make([]int, len(points))
+	cost := 0.0
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for mi, m := range medoids {
+			if d := Euclidean(p, points[m]); d < bestD {
+				best, bestD = mi, d
+			}
+		}
+		assignments[i] = best
+		cost += bestD
+	}
+	return &Result{
+		Assignments: assignments,
+		Medoids:     append([]int(nil), medoids...),
+		Cost:        cost,
+		Iterations:  iters,
+	}
+}
+
+// CLARA (Clustering LARge Applications) runs PAM on random samples and
+// keeps the medoid set with the lowest full-dataset cost. Kaufman &
+// Rousseeuw recommend 5 samples of size 40+2k.
+type CLARA struct {
+	K          int
+	NumSamples int // zero means 5
+	SampleSize int // zero means 40 + 2k
+	Seed       int64
+}
+
+// Run clusters the points.
+func (c *CLARA) Run(points [][]float64) (*Result, error) {
+	n, _, err := validateK(points, c.K)
+	if err != nil {
+		return nil, err
+	}
+	samples := c.NumSamples
+	if samples <= 0 {
+		samples = 5
+	}
+	size := c.SampleSize
+	if size <= 0 {
+		size = 40 + 2*c.K
+	}
+	if size > n {
+		size = n
+	}
+	if size < c.K {
+		size = c.K
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	var bestMedoids []int
+	bestCost := math.Inf(1)
+	for s := 0; s < samples; s++ {
+		idx := stats.SampleWithoutReplacement(rng, n, size)
+		sample := make([][]float64, len(idx))
+		for i, id := range idx {
+			sample[i] = points[id]
+		}
+		pam := &PAM{K: c.K}
+		res, err := pam.Run(sample)
+		if err != nil {
+			return nil, err
+		}
+		// Map sample medoids back to full-dataset indices.
+		medoids := make([]int, len(res.Medoids))
+		for i, m := range res.Medoids {
+			medoids[i] = idx[m]
+		}
+		if cost := MedoidCost(points, medoids); cost < bestCost {
+			bestCost, bestMedoids = cost, medoids
+		}
+	}
+	return medoidResult(points, bestMedoids, samples), nil
+}
+
+// CLARANS (Ng & Han, VLDB'94) searches the graph whose nodes are medoid
+// sets and whose edges are single swaps: from a random node it examines up
+// to MaxNeighbor random neighbours, moving whenever one improves the cost;
+// a node surviving MaxNeighbor examinations is a local optimum. NumLocal
+// restarts keep the best local optimum.
+type CLARANS struct {
+	K           int
+	NumLocal    int // zero means 2 (paper's recommendation)
+	MaxNeighbor int // zero means max(250, 1.25% of k(n-k)) per the paper
+	Seed        int64
+}
+
+// Run clusters the points.
+func (c *CLARANS) Run(points [][]float64) (*Result, error) {
+	n, _, err := validateK(points, c.K)
+	if err != nil {
+		return nil, err
+	}
+	numLocal := c.NumLocal
+	if numLocal <= 0 {
+		numLocal = 2
+	}
+	maxNeighbor := c.MaxNeighbor
+	if maxNeighbor <= 0 {
+		maxNeighbor = int(0.0125 * float64(c.K*(n-c.K)))
+		if maxNeighbor < 250 {
+			maxNeighbor = 250
+		}
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	var bestMedoids []int
+	bestCost := math.Inf(1)
+	totalMoves := 0
+	for local := 0; local < numLocal; local++ {
+		current := stats.SampleWithoutReplacement(rng, n, c.K)
+		cost := MedoidCost(points, current)
+		examined := 0
+		for examined < maxNeighbor {
+			mi := rng.Intn(c.K)
+			cand := rng.Intn(n)
+			if contains(current, cand) {
+				examined++
+				continue
+			}
+			saved := current[mi]
+			current[mi] = cand
+			if newCost := MedoidCost(points, current); newCost < cost {
+				cost = newCost
+				examined = 0
+				totalMoves++
+			} else {
+				current[mi] = saved
+				examined++
+			}
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestMedoids = append([]int(nil), current...)
+		}
+	}
+	return medoidResult(points, bestMedoids, totalMoves), nil
+}

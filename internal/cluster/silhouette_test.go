@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	p, err := synth.GaussianMixture(synth.GaussianConfig{
+		NumPoints: 200, NumCluster: 3, Dims: 2, Spread: 0.5, Separation: 80, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Silhouette(p.X, p.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Errorf("silhouette of well-separated clusters = %v, want > 0.9", s)
+	}
+}
+
+func TestSilhouetteRandomLabelsNearZero(t *testing.T) {
+	p, err := synth.GaussianMixture(synth.GaussianConfig{
+		NumPoints: 200, NumCluster: 3, Dims: 2, Spread: 0.5, Separation: 80, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle labels deterministically: assign by index parity, which cuts
+	// across the true clusters.
+	labels := make([]int, len(p.Labels))
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	s, err := Silhouette(p.X, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.2 {
+		t.Errorf("silhouette of label-scrambled clusters = %v, want near 0", s)
+	}
+}
+
+func TestSilhouetteRanksKCorrectly(t *testing.T) {
+	// On a 2x2 grid of equidistant clusters, the silhouette at the true
+	// k=4 beats a forced k=2 merge. (A random-centre mixture would not
+	// guarantee this: two centres can land close enough that merging
+	// genuinely scores better.)
+	p, err := synth.GaussianGrid(synth.GridConfig{
+		NumPoints: 200, GridSide: 2, CentreDist: 50, Spread: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Silhouette(p.X, p.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := (&KMeans{K: 2, Seed: 1}).Run(p.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Silhouette(p.X, k2.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 <= s2 {
+		t.Errorf("silhouette k=4 (%v) should beat k=2 (%v)", s4, s2)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	pts := [][]float64{{0}, {1}}
+	if _, err := Silhouette(pts, []int{0}); !errors.Is(err, ErrLabelLength) {
+		t.Errorf("length error = %v", err)
+	}
+	if _, err := Silhouette(pts, []int{0, 0}); err == nil {
+		t.Error("single cluster should error")
+	}
+	if _, err := Silhouette(pts, []int{Noise, Noise}); err == nil {
+		t.Error("all-noise should error")
+	}
+}
+
+func TestSilhouetteSkipsNoise(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}, {500, 500}}
+	labels := []int{0, 0, 1, 1, Noise}
+	s, err := Silhouette(pts, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Errorf("silhouette = %v; the distant noise point should not count", s)
+	}
+}

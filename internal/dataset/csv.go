@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses CSV data with a header row into a Table, inferring the
+// schema: a column whose every non-missing cell parses as a float becomes
+// numeric, otherwise categorical with values in first-appearance order.
+// Empty cells and "?" are missing. classColumn names the class attribute;
+// pass "" for none.
+func ReadCSV(r io.Reader, classColumn string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, ErrEmptyTable
+	}
+	header := records[0]
+	data := records[1:]
+
+	nCols := len(header)
+	isNumeric := make([]bool, nCols)
+	for j := 0; j < nCols; j++ {
+		isNumeric[j] = true
+		seen := false
+		for _, rec := range data {
+			if j >= len(rec) {
+				return nil, fmt.Errorf("%w: row has %d cells, header has %d", ErrRowWidth, len(rec), nCols)
+			}
+			cell := strings.TrimSpace(rec[j])
+			if cell == "" || cell == "?" {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				isNumeric[j] = false
+				break
+			}
+		}
+		if !seen {
+			// All-missing column: keep numeric.
+			isNumeric[j] = true
+		}
+	}
+
+	attrs := make([]Attribute, nCols)
+	classIdx := -1
+	for j, name := range header {
+		name = strings.TrimSpace(name)
+		if isNumeric[j] {
+			attrs[j] = NewNumericAttribute(name)
+		} else {
+			attrs[j] = NewCategoricalAttribute(name)
+		}
+		if classColumn != "" && name == classColumn {
+			classIdx = j
+		}
+	}
+	if classColumn != "" && classIdx < 0 {
+		return nil, fmt.Errorf("dataset: class column %q not in header", classColumn)
+	}
+	// The class column must be categorical for classification; coerce a
+	// numeric-looking class column to categorical so labels are preserved.
+	if classIdx >= 0 && attrs[classIdx].Kind == Numeric {
+		attrs[classIdx] = NewCategoricalAttribute(attrs[classIdx].Name)
+		isNumeric[classIdx] = false
+	}
+
+	t := New(attrs...)
+	t.ClassIndex = classIdx
+	for _, rec := range data {
+		row := make([]float64, nCols)
+		for j := 0; j < nCols; j++ {
+			cell := strings.TrimSpace(rec[j])
+			if cell == "" || cell == "?" {
+				row[j] = Missing
+				continue
+			}
+			if isNumeric[j] {
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %q: %w", header[j], err)
+				}
+				row[j] = v
+			} else {
+				row[j] = float64(t.Attributes[j].AddValue(cell))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header row. Categorical cells are
+// written as their labels and missing cells as "?".
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Attributes))
+	for j, a := range t.Attributes {
+		header[j] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	rec := make([]string, len(t.Attributes))
+	for i := range t.Rows {
+		for j := range t.Attributes {
+			rec[j] = t.CellLabel(i, j)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestCSVRoundTripProperty: any randomly generated table survives a
+// WriteCSV/ReadCSV round trip cell-for-cell (as rendered labels).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNum := 1 + rng.Intn(3)
+		nCat := 1 + rng.Intn(3)
+		var attrs []Attribute
+		for i := 0; i < nNum; i++ {
+			attrs = append(attrs, NewNumericAttribute(fmt.Sprintf("n%d", i)))
+		}
+		for i := 0; i < nCat; i++ {
+			vals := make([]string, 2+rng.Intn(3))
+			for v := range vals {
+				vals[v] = fmt.Sprintf("c%d_v%d", i, v)
+			}
+			attrs = append(attrs, NewCategoricalAttribute(fmt.Sprintf("c%d", i), vals...))
+		}
+		tbl := New(attrs...)
+		tbl.ClassIndex = len(attrs) - 1
+		rows := 1 + rng.Intn(30)
+		for r := 0; r < rows; r++ {
+			row := make([]float64, len(attrs))
+			for j, a := range attrs {
+				if rng.Float64() < 0.1 {
+					row[j] = Missing
+					continue
+				}
+				if a.Kind == Numeric {
+					// Limited precision keeps %g rendering lossless.
+					row[j] = float64(rng.Intn(2000)-1000) / 8
+				} else {
+					row[j] = float64(rng.Intn(len(a.Values)))
+				}
+			}
+			if err := tbl.AppendRow(row); err != nil {
+				return false
+			}
+		}
+		var sb strings.Builder
+		if err := tbl.WriteCSV(&sb); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()), attrs[len(attrs)-1].Name)
+		if err != nil {
+			return false
+		}
+		if back.NumRows() != tbl.NumRows() {
+			return false
+		}
+		for i := 0; i < tbl.NumRows(); i++ {
+			for j := range attrs {
+				if tbl.CellLabel(i, j) != back.CellLabel(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStratifiedSplitPreservesSchema: Subset of shuffled indices always
+// shares the schema and class index.
+func TestSubsetSharesSchema(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New(NewNumericAttribute("x"), NewCategoricalAttribute("y", "a", "b"))
+		tbl.ClassIndex = 1
+		for i := 0; i < 20; i++ {
+			if err := tbl.AppendRow([]float64{rng.Float64(), float64(i % 2)}); err != nil {
+				return false
+			}
+		}
+		idx := rng.Perm(20)[:5]
+		sub := tbl.Subset(idx)
+		if sub.ClassIndex != 1 || sub.NumAttributes() != 2 || sub.NumRows() != 5 {
+			return false
+		}
+		for i, id := range idx {
+			if sub.Rows[i][0] != tbl.Rows[id][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/bayes"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/rules"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/tree"
+)
+
+// TestSignificanceTreeVs1ROnComplexFunction ties the evaluation harness to
+// the significance machinery: on F3 (age × education interaction) the tree
+// must beat 1R with a significant paired t-test over fold accuracies.
+func TestSignificanceTreeVs1ROnComplexFunction(t *testing.T) {
+	tbl, err := synth.Classify(synth.ClassifyConfig{NumRows: 1000, Function: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeRes, err := CrossValidate(tbl, 10, 5, func(train *dataset.Table) (Classifier, error) {
+		return tree.Build(train, tree.Config{Criterion: tree.GainRatio, MinLeaf: 2})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneRRes, err := CrossValidate(tbl, 10, 5, func(train *dataset.Table) (Classifier, error) {
+		return rules.Train1R(train)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tStat, df, p, err := stats.PairedTTest(treeRes.FoldAccuracy, oneRRes.FoldAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 9 {
+		t.Errorf("df = %d", df)
+	}
+	if tStat <= 0 {
+		t.Errorf("t = %v, tree should dominate", tStat)
+	}
+	if p >= 0.01 {
+		t.Errorf("p = %v, want < 0.01 for a ~30-point accuracy gap", p)
+	}
+}
+
+// TestHarnessWorksWithEveryClassifierKind exercises CrossValidate with
+// classifiers from four different packages, confirming the Classifier
+// interface boundary.
+func TestHarnessWorksWithEveryClassifierKind(t *testing.T) {
+	tbl, err := synth.Classify(synth.ClassifyConfig{NumRows: 300, Function: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainers := map[string]Trainer{
+		"tree": func(train *dataset.Table) (Classifier, error) {
+			return tree.Build(train, tree.Config{})
+		},
+		"bayes": func(train *dataset.Table) (Classifier, error) {
+			return bayes.Train(train)
+		},
+		"knn": func(train *dataset.Table) (Classifier, error) {
+			return knn.Train(train, 3, true)
+		},
+		"1R": func(train *dataset.Table) (Classifier, error) {
+			return rules.Train1R(train)
+		},
+	}
+	for name, tr := range trainers {
+		res, err := CrossValidate(tbl, 3, 1, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Accuracy() <= 0.5 {
+			t.Errorf("%s: accuracy = %v", name, res.Accuracy())
+		}
+	}
+}
+
+// TestAUCAgreesWithAccuracyOrdering sanity-checks the AUC harness: a
+// classifier with clearly higher accuracy on F1 also has higher
+// one-vs-rest AUC than a near-random scorer.
+func TestAUCAgreesWithAccuracyOrdering(t *testing.T) {
+	train, err := synth.Classify(synth.ClassifyConfig{NumRows: 800, Function: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := synth.Classify(synth.ClassifyConfig{NumRows: 400, Function: 1, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := bayes.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "bad" model: naive Bayes trained on labels shuffled by row order
+	// (classes swapped for half the data).
+	spoiled := train.Clone()
+	for i := range spoiled.Rows {
+		if i%2 == 0 {
+			spoiled.Rows[i][spoiled.ClassIndex] = float64(1 - spoiled.Class(i))
+		}
+	}
+	bad, err := bayes.Train(spoiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodAUC, err := AUCOneVsRest(good, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badAUC, err := AUCOneVsRest(bad, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodAUC <= badAUC {
+		t.Errorf("good AUC %v <= spoiled AUC %v", goodAUC, badAUC)
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/synth"
+)
+
+// RunC1 reproduces the CLARANS comparison: runtime growth and clustering
+// cost of the k-medoid family (with k-means as the centroid reference) as
+// n grows. PAM is skipped above a size cap — the point of the original
+// figure is precisely that PAM becomes infeasible first.
+func RunC1(w io.Writer, s Scale) error {
+	header(w, "C1", "k-medoid family: time (ms) and medoid cost vs n, k=5")
+	sizes := []int{100, 200, 400}
+	pamCap := 400
+	if s == Full {
+		sizes = []int{100, 200, 400, 800, 1600, 3200}
+		pamCap = 800
+	}
+	const k = 5
+	fmt.Fprintf(w, "%-8s%12s%12s%12s%12s%14s%14s%14s\n",
+		"n", "PAM", "CLARA", "CLARANS", "k-means", "PAM cost", "CLARANS cost", "CLARA cost")
+	for _, n := range sizes {
+		p, err := synth.GaussianMixture(synth.GaussianConfig{
+			NumPoints: n, NumCluster: k, Dims: 2, Spread: 1, Separation: 80, Seed: 41,
+		})
+		if err != nil {
+			return err
+		}
+		pamTime, pamCost := "-", "-"
+		if n <= pamCap {
+			var res *cluster.Result
+			dur, err := timeIt(func() error {
+				var e error
+				res, e = (&cluster.PAM{K: k}).Run(p.X)
+				return e
+			})
+			if err != nil {
+				return err
+			}
+			pamTime, pamCost = ms(dur), fmt.Sprintf("%.1f", res.Cost)
+		}
+		claraRes, claraDur, err := timedCluster(&cluster.CLARA{K: k, Seed: 41}, p.X)
+		if err != nil {
+			return err
+		}
+		claransRes, claransDur, err := timedCluster(&cluster.CLARANS{K: k, Seed: 41}, p.X)
+		if err != nil {
+			return err
+		}
+		_, kmDur, err := timedCluster(&cluster.KMeans{K: k, Seed: 41}, p.X)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d%12s%12s%12s%12s%14s%14.1f%14.1f\n",
+			n, pamTime, ms(claraDur), ms(claransDur), ms(kmDur),
+			pamCost, claransRes.Cost, claraRes.Cost)
+	}
+	return nil
+}
+
+// runner abstracts the clusterers' shared Run method.
+type runner interface {
+	Run(points [][]float64) (*cluster.Result, error)
+}
+
+func timedCluster(r runner, pts [][]float64) (*cluster.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := r.Run(pts)
+	return res, time.Since(start), err
+}
+
+// RunC2 reproduces the DBSCAN claims: quality on non-convex shapes where
+// k-means fails, and the effect of a spatial index on runtime.
+func RunC2(w io.Writer, s Scale) error {
+	header(w, "C2", "DBSCAN vs k-means on non-convex shapes (Rand index vs truth)")
+	n := 400
+	if s == Full {
+		n = 1500
+	}
+	shapes := []struct {
+		name string
+		kind synth.ShapeKind
+		eps  float64
+	}{
+		{"two-moons", synth.TwoMoons, 0.25},
+		{"rings", synth.Rings, 0.5},
+	}
+	fmt.Fprintf(w, "%-12s%12s%12s%12s%16s\n", "dataset", "k-means RI", "DBSCAN RI", "noise found", "clusters found")
+	for _, sh := range shapes {
+		p, err := synth.Shapes(synth.ShapeConfig{
+			Kind: sh.kind, NumPoints: n, Jitter: 0.04, NoiseFrac: 0.05, Seed: 96,
+		})
+		if err != nil {
+			return err
+		}
+		km, err := (&cluster.KMeans{K: 2, Seed: 1}).Run(p.X)
+		if err != nil {
+			return err
+		}
+		db, err := (&cluster.DBSCAN{Eps: sh.eps, MinPts: 5, UseIndex: true}).Run(p.X)
+		if err != nil {
+			return err
+		}
+		kmRI, err := cluster.RandIndex(km.Assignments, p.Labels)
+		if err != nil {
+			return err
+		}
+		dbRI, err := cluster.RandIndex(db.Assignments, p.Labels)
+		if err != nil {
+			return err
+		}
+		noise := 0
+		for _, a := range db.Assignments {
+			if a == cluster.Noise {
+				noise++
+			}
+		}
+		fmt.Fprintf(w, "%-12s%12.3f%12.3f%12d%16d\n", sh.name, kmRI, dbRI, noise, db.NumClusters())
+	}
+
+	fmt.Fprintf(w, "\nDBSCAN runtime (ms): brute region queries vs grid index\n")
+	fmt.Fprintf(w, "%-8s%12s%12s\n", "n", "brute", "grid")
+	sizes := []int{500, 1000, 2000}
+	if s == Full {
+		sizes = []int{1000, 2000, 4000, 8000}
+	}
+	for _, sz := range sizes {
+		p, err := synth.Shapes(synth.ShapeConfig{Kind: synth.Rings, NumPoints: sz, Jitter: 0.04, Seed: 97})
+		if err != nil {
+			return err
+		}
+		_, brute, err := timedCluster(&cluster.DBSCAN{Eps: 0.3, MinPts: 5}, p.X)
+		if err != nil {
+			return err
+		}
+		_, grid, err := timedCluster(&cluster.DBSCAN{Eps: 0.3, MinPts: 5, UseIndex: true}, p.X)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d%12s%12s\n", sz, ms(brute), ms(grid))
+	}
+	return nil
+}
+
+// RunC3 reproduces BIRCH's time-vs-n claim against full k-means, with the
+// SSE of both, on the DS1-style grid mixture.
+func RunC3(w io.Writer, s Scale) error {
+	header(w, "C3", "BIRCH vs k-means: time (ms) and SSE vs n (grid mixture, k=4)")
+	sizes := []int{2000, 5000, 10000}
+	if s == Full {
+		sizes = []int{10000, 25000, 50000, 100000}
+	}
+	fmt.Fprintf(w, "%-10s%12s%12s%14s%14s\n", "n", "BIRCH", "k-means", "BIRCH SSE", "k-means SSE")
+	for _, n := range sizes {
+		p, err := synth.GaussianGrid(synth.GridConfig{
+			NumPoints: n, GridSide: 2, CentreDist: 40, Spread: 2, Seed: 98,
+		})
+		if err != nil {
+			return err
+		}
+		bRes, bDur, err := timedCluster(&cluster.BIRCH{K: 4, MaxLeaves: 256, Seed: 1}, p.X)
+		if err != nil {
+			return err
+		}
+		kRes, kDur, err := timedCluster(&cluster.KMeans{K: 4, Seed: 1}, p.X)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10d%12s%12s%14.0f%14.0f\n", n, ms(bDur), ms(kDur), bRes.Cost, kRes.Cost)
+	}
+	return nil
+}
+
+// RunC4 compares the linkages on spherical vs elongated cluster shapes.
+func RunC4(w io.Writer, s Scale) error {
+	header(w, "C4", "hierarchical linkages: Rand index vs truth")
+	n := 120
+	if s == Full {
+		n = 300
+	}
+	spherical, err := synth.GaussianMixture(synth.GaussianConfig{
+		NumPoints: n, NumCluster: 3, Dims: 2, Spread: 1, Separation: 60, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	// Elongated: two parallel strips (the single-linkage showcase).
+	var strips [][]float64
+	var stripTruth []int
+	for i := 0; i < n/2; i++ {
+		strips = append(strips, []float64{float64(i) * 0.5, 0})
+		stripTruth = append(stripTruth, 0)
+		strips = append(strips, []float64{float64(i) * 0.5, 15})
+		stripTruth = append(stripTruth, 1)
+	}
+	linkages := []cluster.Linkage{
+		cluster.SingleLinkage, cluster.CompleteLinkage, cluster.AverageLinkage, cluster.WardLinkage,
+	}
+	fmt.Fprintf(w, "%-10s%14s%14s\n", "linkage", "spherical RI", "elongated RI")
+	for _, l := range linkages {
+		h := &cluster.Hierarchical{Linkage: l}
+		d1, err := h.Run(spherical.X)
+		if err != nil {
+			return err
+		}
+		l1, err := d1.CutK(3)
+		if err != nil {
+			return err
+		}
+		ri1, err := cluster.RandIndex(l1, spherical.Labels)
+		if err != nil {
+			return err
+		}
+		d2, err := h.Run(strips)
+		if err != nil {
+			return err
+		}
+		l2, err := d2.CutK(2)
+		if err != nil {
+			return err
+		}
+		ri2, err := cluster.RandIndex(l2, stripTruth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-10s%14.3f%14.3f\n", l, ri1, ri2)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package hashtree implements the candidate hash tree of Agrawal & Srikant
+// (VLDB'94 §2.1.2), the data structure Apriori uses to count, for every
+// transaction, which of the current candidate k-itemsets it contains,
+// without testing every candidate.
+//
+// Interior nodes hash the item at their depth into a fixed fanout of
+// children; leaves store candidate itemsets with their support counters.
+// A leaf splits into an interior node when it exceeds the leaf capacity,
+// unless it is already at depth k (where further splitting cannot separate
+// candidates).
+package hashtree
+
+import (
+	"errors"
+
+	"repro/internal/transactions"
+)
+
+// Entry is a candidate itemset with its running support count.
+type Entry struct {
+	Items transactions.Itemset
+	Count int
+
+	// lastTID guards against counting the same transaction twice when the
+	// traversal reaches the same leaf along different hash paths.
+	lastTID int
+}
+
+// Tree is a hash tree over candidate itemsets of a single length k.
+type Tree struct {
+	k       int
+	fanout  int
+	maxLeaf int
+	root    *node
+	size    int
+}
+
+type node struct {
+	children []*node  // non-nil for interior nodes
+	entries  []*Entry // leaf payload
+}
+
+// Defaults match the spirit of the paper's implementation.
+const (
+	DefaultFanout  = 16
+	DefaultMaxLeaf = 32
+)
+
+// Errors returned by the tree.
+var (
+	ErrWrongLength = errors.New("hashtree: itemset length does not match tree")
+	ErrBadParams   = errors.New("hashtree: fanout and leaf capacity must be positive")
+)
+
+// New returns an empty hash tree for candidates of length k.
+func New(k int) *Tree {
+	t, _ := NewWithParams(k, DefaultFanout, DefaultMaxLeaf)
+	return t
+}
+
+// NewWithParams returns an empty hash tree with explicit fanout and leaf
+// capacity, for the ablation benchmarks.
+func NewWithParams(k, fanout, maxLeaf int) (*Tree, error) {
+	if fanout < 1 || maxLeaf < 1 || k < 1 {
+		return nil, ErrBadParams
+	}
+	return &Tree{k: k, fanout: fanout, maxLeaf: maxLeaf, root: &node{}}, nil
+}
+
+// Len returns the number of candidates stored.
+func (t *Tree) Len() int { return t.size }
+
+// K returns the candidate length the tree was built for.
+func (t *Tree) K() int { return t.k }
+
+// Insert adds a candidate itemset with a zero count. The caller must not
+// insert duplicates; Apriori's candidate generation never produces them.
+func (t *Tree) Insert(items transactions.Itemset) (*Entry, error) {
+	if len(items) != t.k {
+		return nil, ErrWrongLength
+	}
+	e := &Entry{Items: items, lastTID: -1}
+	t.insert(t.root, e, 0)
+	t.size++
+	return e, nil
+}
+
+func (t *Tree) insert(n *node, e *Entry, depth int) {
+	if n.children != nil {
+		h := e.Items[depth] % t.fanout
+		child := n.children[h]
+		if child == nil {
+			child = &node{}
+			n.children[h] = child
+		}
+		t.insert(child, e, depth+1)
+		return
+	}
+	n.entries = append(n.entries, e)
+	// Split an overfull leaf unless hashing deeper cannot discriminate.
+	if len(n.entries) > t.maxLeaf && depth < t.k {
+		entries := n.entries
+		n.entries = nil
+		n.children = make([]*node, t.fanout)
+		for _, old := range entries {
+			h := old.Items[depth] % t.fanout
+			child := n.children[h]
+			if child == nil {
+				child = &node{}
+				n.children[h] = child
+			}
+			t.insert(child, old, depth+1)
+		}
+	}
+}
+
+// CountTransaction increments the count of every candidate that is a
+// subset of tx, using the paper's recursive traversal: at an interior node
+// of depth d, hash each remaining transaction item and descend; at a leaf,
+// verify containment per candidate. tid must be distinct per transaction
+// (and non-negative); it guards against double counting when a leaf is
+// reachable along several hash paths.
+func (t *Tree) CountTransaction(tx transactions.Itemset, tid int) {
+	if len(tx) < t.k {
+		return
+	}
+	t.count(t.root, tx, 0, 0, tid)
+}
+
+// count descends from n; items before start are already consumed by the
+// path, depth is the node's depth in the tree.
+func (t *Tree) count(n *node, tx transactions.Itemset, start, depth, tid int) {
+	if n.children == nil {
+		for _, e := range n.entries {
+			if e.lastTID != tid && tx.ContainsAll(e.Items) {
+				e.Count++
+				e.lastTID = tid
+			}
+		}
+		return
+	}
+	// Need k-depth more items; stop early when too few remain.
+	for i := start; i <= len(tx)-(t.k-depth); i++ {
+		child := n.children[tx[i]%t.fanout]
+		if child != nil {
+			t.count(child, tx, i+1, depth+1, tid)
+		}
+	}
+}
+
+// Entries appends all stored entries to dst and returns it; iteration
+// order is unspecified.
+func (t *Tree) Entries(dst []*Entry) []*Entry {
+	return collect(t.root, dst)
+}
+
+func collect(n *node, dst []*Entry) []*Entry {
+	if n == nil {
+		return dst
+	}
+	if n.children == nil {
+		return append(dst, n.entries...)
+	}
+	for _, c := range n.children {
+		dst = collect(c, dst)
+	}
+	return dst
+}

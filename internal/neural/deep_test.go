@@ -1,0 +1,68 @@
+package neural
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestTwoHiddenLayers(t *testing.T) {
+	tbl := xorTable(t)
+	n, err := Train(tbl, Config{Hidden: []int{6, 4}, LearningRate: 0.5, Epochs: 500, Momentum: 0.9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.sizes) != 4 { // input, 6, 4, output
+		t.Fatalf("sizes = %v", n.sizes)
+	}
+	correct := 0
+	for i, row := range tbl.Rows {
+		if n.Predict(row) == tbl.Class(i) {
+			correct++
+		}
+	}
+	if correct < tbl.NumRows()*9/10 {
+		t.Errorf("two-layer net solved %d/%d XOR rows", correct, tbl.NumRows())
+	}
+}
+
+func TestCategoricalInputsOneHot(t *testing.T) {
+	// A table with a categorical attribute must widen the input layer by
+	// its one-hot size.
+	tbl, err := synth.Classify(synth.ClassifyConfig{NumRows: 100, Function: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Train(tbl, Config{Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nine numeric attributes: input layer is 9 wide.
+	if n.sizes[0] != 9 {
+		t.Errorf("input width = %d", n.sizes[0])
+	}
+}
+
+func TestMoreEpochsDoNotHurtTrainingFit(t *testing.T) {
+	tbl := xorTable(t)
+	few, err := Train(tbl, Config{Hidden: []int{8}, LearningRate: 0.5, Epochs: 5, Momentum: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(tbl, Config{Hidden: []int{8}, LearningRate: 0.5, Epochs: 400, Momentum: 0.9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := func(n *Network) int {
+		c := 0
+		for i, row := range tbl.Rows {
+			if n.Predict(row) == tbl.Class(i) {
+				c++
+			}
+		}
+		return c
+	}
+	if fit(many) < fit(few) {
+		t.Errorf("more training fit worse: %d vs %d", fit(many), fit(few))
+	}
+}

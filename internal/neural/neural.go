@@ -1,0 +1,275 @@
+// Package neural implements the feedforward multilayer perceptron with
+// sigmoid units and stochastic backpropagation — the neural-network
+// classifier of the tutorial era (Rumelhart-style backprop, no modern
+// optimisers), operating over dataset.Table with the same mixed-attribute
+// encoding as the kNN classifier.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Config controls training.
+type Config struct {
+	Hidden       []int   // hidden layer widths; nil means one layer of 8
+	LearningRate float64 // zero means 0.1
+	Epochs       int     // zero means 50
+	Momentum     float64 // classic momentum term
+	Seed         int64
+}
+
+// Errors returned by Train.
+var (
+	ErrNoRows  = errors.New("neural: empty training table")
+	ErrNoClass = errors.New("neural: table has no categorical class attribute")
+	ErrConfig  = errors.New("neural: invalid configuration")
+)
+
+// Network is a trained MLP classifier.
+type Network struct {
+	attrs    []dataset.Attribute
+	classIdx int
+	nClasses int
+	mins     []float64
+	ranges   []float64
+
+	// layers[l] transforms activations of layer l to l+1.
+	weights [][][]float64 // [layer][to][from]
+	biases  [][]float64   // [layer][to]
+	sizes   []int
+}
+
+// Train fits the network with per-example (stochastic) backprop.
+func Train(t *dataset.Table, cfg Config) (*Network, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, ErrNoRows
+	}
+	if t.NumClasses() < 1 {
+		return nil, ErrNoClass
+	}
+	if cfg.LearningRate < 0 || cfg.Epochs < 0 || cfg.Momentum < 0 || cfg.Momentum >= 1 {
+		return nil, ErrConfig
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 50
+	}
+	hidden := cfg.Hidden
+	if hidden == nil {
+		hidden = []int{8}
+	}
+	for _, h := range hidden {
+		if h < 1 {
+			return nil, fmt.Errorf("%w: hidden width %d", ErrConfig, h)
+		}
+	}
+	n := &Network{
+		attrs:    t.Attributes,
+		classIdx: t.ClassIndex,
+		nClasses: t.NumClasses(),
+	}
+	n.fitScaling(t)
+	inputDim := len(n.vectorize(t.Rows[0]))
+	n.sizes = append([]int{inputDim}, hidden...)
+	n.sizes = append(n.sizes, n.nClasses)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nLayers := len(n.sizes) - 1
+	n.weights = make([][][]float64, nLayers)
+	n.biases = make([][]float64, nLayers)
+	prevW := make([][][]float64, nLayers)
+	prevB := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		from, to := n.sizes[l], n.sizes[l+1]
+		n.weights[l] = make([][]float64, to)
+		prevW[l] = make([][]float64, to)
+		n.biases[l] = make([]float64, to)
+		prevB[l] = make([]float64, to)
+		scale := 1 / math.Sqrt(float64(from))
+		for j := 0; j < to; j++ {
+			n.weights[l][j] = make([]float64, from)
+			prevW[l][j] = make([]float64, from)
+			for i := range n.weights[l][j] {
+				n.weights[l][j][i] = rng.NormFloat64() * scale
+			}
+		}
+	}
+
+	inputs := make([][]float64, t.NumRows())
+	targets := make([]int, t.NumRows())
+	for i, row := range t.Rows {
+		inputs[i] = n.vectorize(row)
+		targets[i] = t.Class(i)
+	}
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	acts := make([][]float64, len(n.sizes))
+	deltas := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		deltas[l] = make([]float64, n.sizes[l+1])
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, ex := range order {
+			n.forward(inputs[ex], acts)
+			// Output deltas: squared-error derivative with sigmoid.
+			out := acts[len(acts)-1]
+			for j := range out {
+				target := 0.0
+				if j == targets[ex] {
+					target = 1.0
+				}
+				deltas[nLayers-1][j] = (out[j] - target) * out[j] * (1 - out[j])
+			}
+			// Hidden deltas back through the layers.
+			for l := nLayers - 2; l >= 0; l-- {
+				for i := 0; i < n.sizes[l+1]; i++ {
+					sum := 0.0
+					for j := 0; j < n.sizes[l+2]; j++ {
+						sum += deltas[l+1][j] * n.weights[l+1][j][i]
+					}
+					a := acts[l+1][i]
+					deltas[l][i] = sum * a * (1 - a)
+				}
+			}
+			// Gradient step with momentum.
+			for l := 0; l < nLayers; l++ {
+				for j := 0; j < n.sizes[l+1]; j++ {
+					for i := 0; i < n.sizes[l]; i++ {
+						dw := -cfg.LearningRate*deltas[l][j]*acts[l][i] + cfg.Momentum*prevW[l][j][i]
+						n.weights[l][j][i] += dw
+						prevW[l][j][i] = dw
+					}
+					db := -cfg.LearningRate*deltas[l][j] + cfg.Momentum*prevB[l][j]
+					n.biases[l][j] += db
+					prevB[l][j] = db
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) fitScaling(t *dataset.Table) {
+	nAttrs := len(t.Attributes)
+	n.mins = make([]float64, nAttrs)
+	n.ranges = make([]float64, nAttrs)
+	for j, a := range t.Attributes {
+		if j == t.ClassIndex || a.Kind != dataset.Numeric {
+			n.ranges[j] = 1
+			continue
+		}
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, row := range t.Rows {
+			v := row[j]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if min > max {
+			min, max = 0, 1
+		}
+		n.mins[j] = min
+		if max > min {
+			n.ranges[j] = max - min
+		} else {
+			n.ranges[j] = 1
+		}
+	}
+}
+
+func (n *Network) vectorize(row []float64) []float64 {
+	var out []float64
+	for j, a := range n.attrs {
+		if j == n.classIdx {
+			continue
+		}
+		v := row[j]
+		if a.Kind == dataset.Numeric {
+			if dataset.IsMissing(v) {
+				out = append(out, 0.5)
+			} else {
+				out = append(out, (v-n.mins[j])/n.ranges[j])
+			}
+			continue
+		}
+		oh := make([]float64, len(a.Values))
+		if !dataset.IsMissing(v) {
+			idx := int(v)
+			if idx >= 0 && idx < len(oh) {
+				oh[idx] = 1
+			}
+		}
+		out = append(out, oh...)
+	}
+	return out
+}
+
+// forward fills acts[0..L] with layer activations.
+func (n *Network) forward(input []float64, acts [][]float64) {
+	acts[0] = input
+	for l := 0; l < len(n.weights); l++ {
+		if acts[l+1] == nil {
+			acts[l+1] = make([]float64, n.sizes[l+1])
+		}
+		for j := 0; j < n.sizes[l+1]; j++ {
+			sum := n.biases[l][j]
+			w := n.weights[l][j]
+			for i, a := range acts[l] {
+				sum += w[i] * a
+			}
+			acts[l+1][j] = sigmoid(sum)
+		}
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Proba returns the (normalised) output activations for the row.
+func (n *Network) Proba(row []float64) []float64 {
+	acts := make([][]float64, len(n.sizes))
+	n.forward(n.vectorize(row), acts)
+	out := acts[len(acts)-1]
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	probs := make([]float64, len(out))
+	for i, v := range out {
+		if total > 0 {
+			probs[i] = v / total
+		} else {
+			probs[i] = 1 / float64(len(out))
+		}
+	}
+	return probs
+}
+
+// Predict returns the class with the highest output activation.
+func (n *Network) Predict(row []float64) int {
+	acts := make([][]float64, len(n.sizes))
+	n.forward(n.vectorize(row), acts)
+	out := acts[len(acts)-1]
+	best := 0
+	for j, v := range out {
+		if v > out[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,175 @@
+// Package rules implements simple rule-based classifiers, principally
+// Holte's 1R ("Very simple classification rules perform well on most
+// commonly used datasets", 1993) — the one-attribute baseline the
+// classifier comparisons of the era always included.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Errors returned by Train1R.
+var (
+	ErrNoRows      = errors.New("rules: empty training table")
+	ErrNoClass     = errors.New("rules: table has no categorical class attribute")
+	ErrNoAttribute = errors.New("rules: no usable attribute")
+)
+
+// OneR is a trained 1R classifier: a single attribute with one predicted
+// class per value (numeric attributes are pre-binned).
+type OneR struct {
+	Attr int
+	// ClassFor maps the attribute's value index to the predicted class.
+	ClassFor []int
+	// Default handles missing values and unseen bins.
+	Default int
+	// TrainError is the training error rate of the chosen rule.
+	TrainError float64
+	// Disc holds the discretizer applied to a numeric chosen attribute
+	// (nil for categorical).
+	Disc *dataset.Discretizer
+
+	attrs    []dataset.Attribute
+	classIdx int
+}
+
+// Bins is the number of bins used when a numeric attribute is evaluated.
+const Bins = 6
+
+// Train1R picks the single attribute whose one-rule has the lowest
+// training error.
+func Train1R(t *dataset.Table) (*OneR, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, ErrNoRows
+	}
+	if t.NumClasses() < 1 {
+		return nil, ErrNoClass
+	}
+	defaultClass, err := t.MajorityClass()
+	if err != nil {
+		return nil, err
+	}
+	best := &OneR{Attr: -1, TrainError: 1.1, Default: defaultClass, attrs: t.Attributes, classIdx: t.ClassIndex}
+	for j := range t.Attributes {
+		if j == t.ClassIndex {
+			continue
+		}
+		cand, err := oneRuleFor(t, j, defaultClass)
+		if err != nil {
+			continue
+		}
+		if cand.TrainError < best.TrainError {
+			cand.attrs = t.Attributes
+			cand.classIdx = t.ClassIndex
+			best = cand
+		}
+	}
+	if best.Attr < 0 {
+		return nil, ErrNoAttribute
+	}
+	return best, nil
+}
+
+// oneRuleFor builds the one-rule for attribute j.
+func oneRuleFor(t *dataset.Table, j, defaultClass int) (*OneR, error) {
+	a := t.Attributes[j]
+	var disc *dataset.Discretizer
+	nVals := len(a.Values)
+	valueOf := func(v float64) int { return int(v) }
+	if a.Kind == dataset.Numeric {
+		d, err := dataset.FitEqualFrequency(t, j, Bins)
+		if err != nil {
+			return nil, err
+		}
+		disc = d
+		nVals = d.NumBins()
+		valueOf = d.Bin
+	}
+	if nVals < 1 {
+		return nil, ErrNoAttribute
+	}
+	counts := make([][]int, nVals)
+	for v := range counts {
+		counts[v] = make([]int, t.NumClasses())
+	}
+	known := 0
+	errsMissing := 0
+	for i, row := range t.Rows {
+		v := row[j]
+		if dataset.IsMissing(v) {
+			if t.Class(i) != defaultClass {
+				errsMissing++
+			}
+			continue
+		}
+		counts[valueOf(v)][t.Class(i)]++
+		known++
+	}
+	if known == 0 {
+		return nil, ErrNoAttribute
+	}
+	classFor := make([]int, nVals)
+	errs := errsMissing
+	for v := range counts {
+		bestC, bestN, total := defaultClass, -1, 0
+		for c, n := range counts[v] {
+			total += n
+			if n > bestN {
+				bestC, bestN = c, n
+			}
+		}
+		if total == 0 {
+			classFor[v] = defaultClass
+			continue
+		}
+		classFor[v] = bestC
+		errs += total - bestN
+	}
+	return &OneR{
+		Attr:       j,
+		ClassFor:   classFor,
+		Default:    defaultClass,
+		TrainError: float64(errs) / float64(t.NumRows()),
+		Disc:       disc,
+	}, nil
+}
+
+// Predict classifies a row.
+func (r *OneR) Predict(row []float64) int {
+	v := row[r.Attr]
+	if dataset.IsMissing(v) {
+		return r.Default
+	}
+	idx := int(v)
+	if r.Disc != nil {
+		idx = r.Disc.Bin(v)
+	}
+	if idx < 0 || idx >= len(r.ClassFor) {
+		return r.Default
+	}
+	return r.ClassFor[idx]
+}
+
+// String renders the rule table.
+func (r *OneR) String() string {
+	var sb strings.Builder
+	a := r.attrs[r.Attr]
+	fmt.Fprintf(&sb, "1R on %s (train error %.1f%%):\n", a.Name, r.TrainError*100)
+	for v, c := range r.ClassFor {
+		val := fmt.Sprintf("bin%d", v)
+		if a.Kind == dataset.Categorical && v < len(a.Values) {
+			val = a.Values[v]
+		}
+		label := fmt.Sprintf("%d", c)
+		classAttr := r.attrs[r.classIdx]
+		if c < len(classAttr.Values) {
+			label = classAttr.Values[c]
+		}
+		fmt.Fprintf(&sb, "  %s = %s -> %s\n", a.Name, val, label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func outlookTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tbl := dataset.New(
+		dataset.NewCategoricalAttribute("outlook", "sunny", "overcast", "rain"),
+		dataset.NewCategoricalAttribute("windy", "false", "true"),
+		dataset.NewCategoricalAttribute("play", "no", "yes"),
+	)
+	tbl.ClassIndex = 2
+	// outlook predicts play far better than windy.
+	rows := [][]float64{
+		{0, 0, 0}, {0, 1, 0}, {0, 0, 0},
+		{1, 0, 1}, {1, 1, 1}, {1, 0, 1},
+		{2, 0, 1}, {2, 1, 0}, {2, 0, 1},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestTrain1RPicksBestAttribute(t *testing.T) {
+	tbl := outlookTable(t)
+	r, err := Train1R(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := tbl.Attributes[r.Attr].Name; name != "outlook" {
+		t.Errorf("chosen attribute = %s, want outlook", name)
+	}
+	// outlook=sunny -> no, overcast -> yes, rain -> yes (majority).
+	if r.ClassFor[0] != 0 || r.ClassFor[1] != 1 || r.ClassFor[2] != 1 {
+		t.Errorf("ClassFor = %v", r.ClassFor)
+	}
+	// One error (rain/windy/no): error rate 1/9.
+	if r.TrainError < 0.1 || r.TrainError > 0.12 {
+		t.Errorf("TrainError = %v, want ~1/9", r.TrainError)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	tbl := outlookTable(t)
+	r, err := Train1R(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("sunny = %d, want 0", got)
+	}
+	if got := r.Predict([]float64{1, 0, 0}); got != 1 {
+		t.Errorf("overcast = %d, want 1", got)
+	}
+	if got := r.Predict([]float64{dataset.Missing, 0, 0}); got != r.Default {
+		t.Errorf("missing = %d, want default %d", got, r.Default)
+	}
+}
+
+func TestTrain1RNumeric(t *testing.T) {
+	tbl, err := synth.Classify(synth.ClassifyConfig{NumRows: 1500, Function: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Train1R(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F1 depends only on age; 1R must pick age (column 2) and bin it.
+	if r.Attr != synth.ColAge {
+		t.Errorf("chosen attribute = %d (%s), want age",
+			r.Attr, tbl.Attributes[r.Attr].Name)
+	}
+	if r.Disc == nil {
+		t.Error("numeric attribute should carry a discretizer")
+	}
+	test, err := synth.Classify(synth.ClassifyConfig{NumRows: 500, Function: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range test.Rows {
+		if r.Predict(row) == test.Class(i) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.NumRows())
+	if acc < 0.75 {
+		t.Errorf("1R on its own function: accuracy = %v", acc)
+	}
+}
+
+func TestTrain1RValidation(t *testing.T) {
+	if _, err := Train1R(nil); !errors.Is(err, ErrNoRows) {
+		t.Errorf("nil error = %v", err)
+	}
+	noClass := dataset.New(dataset.NewNumericAttribute("x"))
+	if err := noClass.AppendRow([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train1R(noClass); !errors.Is(err, ErrNoClass) {
+		t.Errorf("no-class error = %v", err)
+	}
+	classOnly := dataset.New(dataset.NewCategoricalAttribute("class", "a", "b"))
+	classOnly.ClassIndex = 0
+	if err := classOnly.AppendRow([]float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train1R(classOnly); !errors.Is(err, ErrNoAttribute) {
+		t.Errorf("class-only error = %v", err)
+	}
+}
+
+func TestMissingTrainingValues(t *testing.T) {
+	tbl := outlookTable(t)
+	tbl.Rows[0][0] = dataset.Missing
+	r, err := Train1R(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Attr < 0 {
+		t.Error("no attribute chosen")
+	}
+}
+
+func TestString(t *testing.T) {
+	tbl := outlookTable(t)
+	r, err := Train1R(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, frag := range []string{"1R on outlook", "sunny", "-> no"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// PRISM is Cendrowska's covering algorithm (1987): for each class it
+// repeatedly grows a conjunctive rule by adding, one at a time, the
+// attribute-value test with the highest precision on the rows still
+// covered, until the rule is pure (or no test helps); covered rows are
+// removed and the process repeats until the class is exhausted. Numeric
+// attributes are discretized into equal-frequency bins up front.
+type PRISM struct {
+	// Bins is the number of bins for numeric attributes (default 6).
+	Bins int
+	// MaxRules caps the total rule count as a safety valve (default 256).
+	MaxRules int
+}
+
+// PrismTest is one attribute-value condition of a rule. For numeric
+// attributes Value is the bin index of the stored discretizer.
+type PrismTest struct {
+	Attr  int
+	Value int
+}
+
+// PrismRule is a conjunctive rule predicting Class.
+type PrismRule struct {
+	Tests []PrismTest
+	Class int
+	// Covered and Correct are training statistics.
+	Covered, Correct int
+}
+
+// PrismModel is a trained rule list plus a default class.
+type PrismModel struct {
+	Rules   []PrismRule
+	Default int
+
+	attrs    []dataset.Attribute
+	classIdx int
+	discs    map[int]*dataset.Discretizer
+}
+
+// TrainPRISM induces the rule list.
+func TrainPRISM(t *dataset.Table, cfg PRISM) (*PrismModel, error) {
+	if t == nil || t.NumRows() == 0 {
+		return nil, ErrNoRows
+	}
+	nClasses := t.NumClasses()
+	if nClasses < 1 {
+		return nil, ErrNoClass
+	}
+	bins := cfg.Bins
+	if bins < 2 {
+		bins = 6
+	}
+	maxRules := cfg.MaxRules
+	if maxRules <= 0 {
+		maxRules = 256
+	}
+	def, err := t.MajorityClass()
+	if err != nil {
+		return nil, err
+	}
+	m := &PrismModel{Default: def, attrs: t.Attributes, classIdx: t.ClassIndex, discs: map[int]*dataset.Discretizer{}}
+
+	// Pre-discretize numeric attributes; nVals[j] is the test-value count.
+	nVals := make([]int, len(t.Attributes))
+	for j, a := range t.Attributes {
+		if j == t.ClassIndex {
+			continue
+		}
+		if a.Kind == dataset.Categorical {
+			nVals[j] = len(a.Values)
+			continue
+		}
+		d, err := dataset.FitEqualFrequency(t, j, bins)
+		if err != nil {
+			continue // unusable column
+		}
+		m.discs[j] = d
+		nVals[j] = d.NumBins()
+	}
+
+	valueOf := func(row []float64, j int) int {
+		v := row[j]
+		if dataset.IsMissing(v) {
+			return -1
+		}
+		if d, ok := m.discs[j]; ok {
+			return d.Bin(v)
+		}
+		return int(v)
+	}
+
+	for class := 0; class < nClasses; class++ {
+		// Rows of this class not yet covered by a rule for it.
+		remaining := make([]int, 0, t.NumRows())
+		for i := range t.Rows {
+			if t.Class(i) == class {
+				remaining = append(remaining, i)
+			}
+		}
+		for len(remaining) > 0 && len(m.Rules) < maxRules {
+			// Grow one rule on the full table, restricted to rows
+			// matching the tests so far.
+			candidateRows := make([]int, 0, t.NumRows())
+			for i := range t.Rows {
+				candidateRows = append(candidateRows, i)
+			}
+			var tests []PrismTest
+			used := make(map[int]bool)
+			for {
+				// Pure already?
+				correct := 0
+				for _, i := range candidateRows {
+					if t.Class(i) == class {
+						correct++
+					}
+				}
+				if correct == len(candidateRows) || len(used) == len(t.Attributes)-1 {
+					break
+				}
+				bestAttr, bestVal, bestPrec, bestCover := -1, -1, -1.0, 0
+				for j := range t.Attributes {
+					if j == t.ClassIndex || used[j] || nVals[j] == 0 {
+						continue
+					}
+					cover := make([]int, nVals[j])
+					hit := make([]int, nVals[j])
+					for _, i := range candidateRows {
+						v := valueOf(t.Rows[i], j)
+						if v < 0 || v >= nVals[j] {
+							continue
+						}
+						cover[v]++
+						if t.Class(i) == class {
+							hit[v]++
+						}
+					}
+					for v := 0; v < nVals[j]; v++ {
+						if cover[v] == 0 || hit[v] == 0 {
+							continue
+						}
+						prec := float64(hit[v]) / float64(cover[v])
+						// Tie-break on coverage, as Cendrowska specifies.
+						if prec > bestPrec || (prec == bestPrec && hit[v] > bestCover) {
+							bestAttr, bestVal, bestPrec, bestCover = j, v, prec, hit[v]
+						}
+					}
+				}
+				if bestAttr < 0 {
+					break
+				}
+				tests = append(tests, PrismTest{Attr: bestAttr, Value: bestVal})
+				used[bestAttr] = true
+				filtered := candidateRows[:0]
+				for _, i := range candidateRows {
+					if valueOf(t.Rows[i], bestAttr) == bestVal {
+						filtered = append(filtered, i)
+					}
+				}
+				candidateRows = filtered
+			}
+			if len(tests) == 0 {
+				break // nothing discriminates; stop covering this class
+			}
+			covered, correct := 0, 0
+			for _, i := range candidateRows {
+				covered++
+				if t.Class(i) == class {
+					correct++
+				}
+			}
+			m.Rules = append(m.Rules, PrismRule{Tests: tests, Class: class, Covered: covered, Correct: correct})
+			// Remove covered class rows from the worklist.
+			still := remaining[:0]
+			for _, i := range remaining {
+				if !m.matches(tests, t.Rows[i]) {
+					still = append(still, i)
+				}
+			}
+			if len(still) == len(remaining) {
+				break // no progress; avoid looping forever
+			}
+			remaining = still
+		}
+	}
+	return m, nil
+}
+
+func (m *PrismModel) matches(tests []PrismTest, row []float64) bool {
+	for _, ts := range tests {
+		v := row[ts.Attr]
+		if dataset.IsMissing(v) {
+			return false
+		}
+		if d, ok := m.discs[ts.Attr]; ok {
+			if d.Bin(v) != ts.Value {
+				return false
+			}
+		} else if int(v) != ts.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict returns the class of the first matching rule, or the default.
+func (m *PrismModel) Predict(row []float64) int {
+	for _, r := range m.Rules {
+		if m.matches(r.Tests, row) {
+			return r.Class
+		}
+	}
+	return m.Default
+}
+
+// String renders the rule list.
+func (m *PrismModel) String() string {
+	var sb strings.Builder
+	classAttr := m.attrs[m.classIdx]
+	for _, r := range m.Rules {
+		sb.WriteString("IF ")
+		for i, ts := range r.Tests {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			a := m.attrs[ts.Attr]
+			if a.Kind == dataset.Categorical {
+				fmt.Fprintf(&sb, "%s = %s", a.Name, a.Values[ts.Value])
+			} else {
+				fmt.Fprintf(&sb, "%s in bin%d", a.Name, ts.Value)
+			}
+		}
+		label := fmt.Sprintf("%d", r.Class)
+		if r.Class < len(classAttr.Values) {
+			label = classAttr.Values[r.Class]
+		}
+		fmt.Fprintf(&sb, " THEN %s (%d/%d)\n", label, r.Correct, r.Covered)
+	}
+	fmt.Fprintf(&sb, "DEFAULT %s\n", classAttr.Values[m.Default])
+	return sb.String()
+}

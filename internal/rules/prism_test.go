@@ -1,0 +1,132 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// contactLensStyle builds a small categorical table PRISM separates
+// perfectly (in the spirit of Cendrowska's contact-lens data).
+func contactLensStyle(t *testing.T) *dataset.Table {
+	t.Helper()
+	tbl := dataset.New(
+		dataset.NewCategoricalAttribute("tears", "reduced", "normal"),
+		dataset.NewCategoricalAttribute("astig", "no", "yes"),
+		dataset.NewCategoricalAttribute("lens", "none", "soft", "hard"),
+	)
+	tbl.ClassIndex = 2
+	rows := [][]float64{
+		{0, 0, 0}, {0, 1, 0}, // reduced tears -> none
+		{1, 0, 1}, {1, 0, 1}, // normal, no astig -> soft
+		{1, 1, 2}, {1, 1, 2}, // normal, astig -> hard
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestPRISMSeparable(t *testing.T) {
+	tbl := contactLensStyle(t)
+	m, err := TrainPRISM(tbl, PRISM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tbl.Rows {
+		if got := m.Predict(row); got != tbl.Class(i) {
+			t.Errorf("row %d predicted %d, want %d", i, got, tbl.Class(i))
+		}
+	}
+	// Every rule on separable data must be pure.
+	for _, r := range m.Rules {
+		if r.Correct != r.Covered {
+			t.Errorf("impure rule: %+v", r)
+		}
+	}
+}
+
+func TestPRISMNumericAttributes(t *testing.T) {
+	train, err := synth.Classify(synth.ClassifyConfig{NumRows: 800, Function: 1, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := synth.Classify(synth.ClassifyConfig{NumRows: 400, Function: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainPRISM(train, PRISM{Bins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, row := range test.Rows {
+		if m.Predict(row) == test.Class(i) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.NumRows())
+	// F1 depends on age alone; covering rules over 8 age bins should get
+	// most of it.
+	if acc < 0.8 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestPRISMValidation(t *testing.T) {
+	if _, err := TrainPRISM(nil, PRISM{}); !errors.Is(err, ErrNoRows) {
+		t.Errorf("nil error = %v", err)
+	}
+	noClass := dataset.New(dataset.NewNumericAttribute("x"))
+	if err := noClass.AppendRow([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainPRISM(noClass, PRISM{}); !errors.Is(err, ErrNoClass) {
+		t.Errorf("no-class error = %v", err)
+	}
+}
+
+func TestPRISMMaxRulesCap(t *testing.T) {
+	train, err := synth.Classify(synth.ClassifyConfig{NumRows: 500, Function: 5, Noise: 0.2, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainPRISM(train, PRISM{MaxRules: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rules) > 5 {
+		t.Errorf("rules = %d, cap 5", len(m.Rules))
+	}
+}
+
+func TestPRISMString(t *testing.T) {
+	tbl := contactLensStyle(t)
+	m, err := TrainPRISM(tbl, PRISM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, frag := range []string{"IF ", " THEN ", "DEFAULT"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestPRISMMissingValues(t *testing.T) {
+	tbl := contactLensStyle(t)
+	m, err := TrainPRISM(tbl, PRISM{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{dataset.Missing, dataset.Missing, 0}
+	if got := m.Predict(row); got != m.Default {
+		t.Errorf("all-missing predicted %d, want default %d", got, m.Default)
+	}
+}

@@ -1,0 +1,295 @@
+package seqmine
+
+import (
+	"sort"
+
+	"repro/internal/transactions"
+)
+
+// GSP is the generalized sequential-pattern miner of EDBT'96. It mines
+// item-level sequences directly (no litemset/transformation phases) and
+// its join produces dramatically fewer candidates than AprioriAll: two
+// frequent (k-1)-sequences join when dropping the first item of one yields
+// the same sequence as dropping the last item of the other.
+//
+// The paper's gap generalizations are supported: MaxGap/MinGap constrain
+// the distance (in transaction positions) between consecutive matched
+// elements. With a max-gap constraint, general subsequences are no longer
+// anti-monotone, so candidate pruning switches to the paper's contiguous
+// subsequences and containment uses the backtracking procedure instead of
+// the greedy scan. Sliding windows and taxonomies are not implemented.
+type GSP struct {
+	// MaxGap, when positive, is the largest allowed gap between the
+	// transactions matching consecutive pattern elements.
+	MaxGap int
+	// MinGap, when positive, is the smallest allowed gap (1 = adjacent
+	// transactions allowed, the default).
+	MinGap int
+}
+
+// containsWithGaps reports whether sub occurs in s under the gap
+// constraints, by backtracking over the element-to-transaction assignment.
+func (g *GSP) containsWithGaps(s Sequence, sub Sequence) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	minGap := g.MinGap
+	if minGap < 1 {
+		minGap = 1
+	}
+	var rec func(prevIdx, pi int) bool
+	rec = func(prevIdx, pi int) bool {
+		lo := prevIdx + minGap
+		hi := len(s) - 1
+		if g.MaxGap > 0 && prevIdx+g.MaxGap < hi {
+			hi = prevIdx + g.MaxGap
+		}
+		for i := lo; i <= hi; i++ {
+			if s[i].ContainsAll(sub[pi]) {
+				if pi+1 == len(sub) {
+					return true
+				}
+				if rec(i, pi+1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// First element: any starting transaction.
+	for i := 0; i < len(s); i++ {
+		if s[i].ContainsAll(sub[0]) {
+			if len(sub) == 1 {
+				return true
+			}
+			if rec(i, 1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// contains dispatches to the greedy scan when unconstrained (faster and
+// equivalent) and to backtracking otherwise.
+func (g *GSP) contains(s, sub Sequence) bool {
+	if g.MaxGap <= 0 && g.MinGap <= 1 {
+		return s.Contains(sub)
+	}
+	return g.containsWithGaps(s, sub)
+}
+
+// Name implements Miner.
+func (g *GSP) Name() string { return "GSP" }
+
+// Mine implements Miner.
+func (g *GSP) Mine(data []Sequence, minSupport float64) (*Result, error) {
+	minCount, err := checkInput(data, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{MinCount: minCount, NumCustomers: len(data)}
+
+	// L1: items frequent per customer.
+	itemCount := make(map[int]int)
+	for _, cust := range data {
+		seen := make(map[int]struct{})
+		for _, tx := range cust {
+			for _, item := range tx {
+				seen[item] = struct{}{}
+			}
+		}
+		for item := range seen {
+			itemCount[item]++
+		}
+	}
+	var freqItems []int
+	for item, c := range itemCount {
+		if c >= minCount {
+			freqItems = append(freqItems, item)
+		}
+	}
+	sort.Ints(freqItems)
+	level := make([]SeqCount, len(freqItems))
+	for i, item := range freqItems {
+		level[i] = SeqCount{
+			Seq:   Sequence{transactions.Itemset{item}},
+			Count: itemCount[item],
+		}
+	}
+	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: len(itemCount), Frequent: len(level)})
+	if len(level) == 0 {
+		return res, nil
+	}
+	res.Levels = append(res.Levels, level)
+
+	for k := 2; ; k++ {
+		var cands []Sequence
+		if k == 2 {
+			cands = gspCandidates2(freqItems)
+		} else {
+			cands = gspJoin(level, g.MaxGap > 0)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		counts := make([]int, len(cands))
+		for _, cust := range data {
+			for ci, c := range cands {
+				if g.contains(cust, c) {
+					counts[ci]++
+				}
+			}
+		}
+		level = nil
+		for ci, c := range counts {
+			if c >= minCount {
+				level = append(level, SeqCount{Seq: cands[ci], Count: c})
+			}
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i].Seq.Key() < level[j].Seq.Key() })
+		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		if len(level) == 0 {
+			break
+		}
+		res.Levels = append(res.Levels, level)
+	}
+	return res, nil
+}
+
+// gspCandidates2 builds C2 from frequent items x, y: <(x)(y)>, <(y)(x)>
+// for all pairs including x==y for the sequential form, and <(x y)> for
+// x < y (an element is a set, so no repeats within one element).
+func gspCandidates2(items []int) []Sequence {
+	var out []Sequence
+	for _, x := range items {
+		for _, y := range items {
+			out = append(out, Sequence{
+				transactions.Itemset{x},
+				transactions.Itemset{y},
+			})
+		}
+	}
+	for i, x := range items {
+		for _, y := range items[i+1:] {
+			out = append(out, Sequence{transactions.NewItemset(x, y)})
+		}
+	}
+	return out
+}
+
+// gspJoin implements the EDBT'96 join and prune for k >= 3. s1 joins s2
+// when dropFirst(s1) == dropLast(s2); the candidate is s1 extended by the
+// last item of s2, merged into the final element if that item was not
+// alone in s2's last element, appended as a new element otherwise. With a
+// max-gap constraint the prune only uses contiguous subsequences, because
+// general subsequences are not anti-monotone under gaps.
+func gspJoin(level []SeqCount, contiguousOnly bool) []Sequence {
+	prevSet := make(map[string]struct{}, len(level))
+	for _, sc := range level {
+		prevSet[sc.Seq.Key()] = struct{}{}
+	}
+	// Group sequences by their dropFirst key for join lookup.
+	byDropFirst := make(map[string][]Sequence)
+	for _, sc := range level {
+		key := dropFirst(sc.Seq).Key()
+		byDropFirst[key] = append(byDropFirst[key], sc.Seq)
+	}
+	var cands []Sequence
+	seen := make(map[string]struct{})
+	for _, sc := range level {
+		s2 := sc.Seq
+		dl := dropLast(s2)
+		for _, s1 := range byDropFirst[dl.Key()] {
+			cand := joinSequences(s1, s2)
+			key := cand.Key()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if gspPrune(cand, prevSet, contiguousOnly) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
+	return cands
+}
+
+// dropFirst removes the first item of the first element (removing the
+// element if it becomes empty).
+func dropFirst(s Sequence) Sequence {
+	out := make(Sequence, 0, len(s))
+	first := s[0]
+	if len(first) > 1 {
+		out = append(out, first[1:])
+	}
+	out = append(out, s[1:]...)
+	return out
+}
+
+// dropLast removes the last item of the last element.
+func dropLast(s Sequence) Sequence {
+	out := make(Sequence, 0, len(s))
+	out = append(out, s[:len(s)-1]...)
+	last := s[len(s)-1]
+	if len(last) > 1 {
+		out = append(out, last[:len(last)-1])
+	}
+	return out
+}
+
+// joinSequences extends s1 with the last item of s2 per the GSP rule.
+func joinSequences(s1, s2 Sequence) Sequence {
+	lastElem := s2[len(s2)-1]
+	lastItem := lastElem[len(lastElem)-1]
+	out := s1.Clone()
+	if len(lastElem) == 1 {
+		// The item was alone in s2's last element: new element.
+		out = append(out, transactions.Itemset{lastItem})
+	} else {
+		// Merge into s1's final element.
+		out[len(out)-1] = out[len(out)-1].Union(transactions.Itemset{lastItem})
+	}
+	return out
+}
+
+// gspPrune requires every (k-1)-subsequence obtained by dropping a single
+// item to be frequent. Without time constraints, support is anti-monotone
+// under any item deletion. With constraints (contiguousOnly) only
+// contiguous subsequences are anti-monotone: those dropping an item from
+// the first or last element, or from an element of size >= 2.
+func gspPrune(cand Sequence, prevSet map[string]struct{}, contiguousOnly bool) bool {
+	last := len(cand) - 1
+	for ei, elem := range cand {
+		if contiguousOnly && ei != 0 && ei != last && len(elem) < 2 {
+			continue
+		}
+		for ii := range elem {
+			sub := dropItem(cand, ei, ii)
+			if _, ok := prevSet[sub.Key()]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropItem removes item ii of element ei, dropping the element if emptied.
+func dropItem(s Sequence, ei, ii int) Sequence {
+	out := make(Sequence, 0, len(s))
+	for i, elem := range s {
+		if i != ei {
+			out = append(out, elem)
+			continue
+		}
+		if len(elem) == 1 {
+			continue
+		}
+		ne := make(transactions.Itemset, 0, len(elem)-1)
+		ne = append(ne, elem[:ii]...)
+		ne = append(ne, elem[ii+1:]...)
+		out = append(out, ne)
+	}
+	return out
+}

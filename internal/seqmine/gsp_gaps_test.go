@@ -1,0 +1,148 @@
+package seqmine
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestContainsWithGapsBasics(t *testing.T) {
+	s := Sequence{is(1), is(2), is(3), is(2), is(4)}
+	tests := []struct {
+		name           string
+		sub            Sequence
+		maxGap, minGap int
+		want           bool
+	}{
+		{"unconstrained", Sequence{is(1), is(4)}, 0, 0, true},
+		{"maxgap blocks distant", Sequence{is(1), is(4)}, 2, 0, false},
+		{"maxgap allows near", Sequence{is(1), is(2)}, 1, 0, true},
+		{"backtracking finds later match", Sequence{is(1), is(2), is(4)}, 3, 0, true},
+		// Greedy would bind (2) to index 1, making (4) unreachable with
+		// maxgap 1; backtracking binds (2) to index 3.
+		{"backtracking required", Sequence{is(2), is(4)}, 1, 0, true},
+		{"mingap forbids adjacent", Sequence{is(2), is(3)}, 0, 2, false},
+		{"mingap satisfied", Sequence{is(1), is(3)}, 0, 2, true},
+		{"single element", Sequence{is(3)}, 1, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := &GSP{MaxGap: tt.maxGap, MinGap: tt.minGap}
+			if got := g.contains(s, tt.sub); got != tt.want {
+				t.Errorf("contains(%v, maxGap=%d, minGap=%d) = %v, want %v",
+					tt.sub, tt.maxGap, tt.minGap, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGSPMaxGapReducesSupport(t *testing.T) {
+	// Three customers; pattern <(1)(2)> appears adjacent for two of them
+	// and at distance 3 for the third.
+	data := []Sequence{
+		{is(1), is(2), is(9)},
+		{is(1), is(2), is(8)},
+		{is(1), is(7), is(6), is(2)},
+	}
+	unconstrained := &GSP{}
+	res, err := unconstrained.Mine(data, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(Sequence{is(1), is(2)}); !ok || sup != 3 {
+		t.Fatalf("unconstrained support = %d, %v", sup, ok)
+	}
+	gapped := &GSP{MaxGap: 1}
+	res, err = gapped.Mine(data, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(Sequence{is(1), is(2)}); !ok || sup != 2 {
+		t.Fatalf("max-gap support = %d, %v (want 2)", sup, ok)
+	}
+}
+
+func TestGSPMaxGapMatchesBruteForceOnSynthetic(t *testing.T) {
+	raw, err := synth.Sequences(synth.SequenceConfig{
+		NumCustomers: 80, AvgTxPerCust: 6, AvgTxSize: 2,
+		AvgSeqPatLen: 3, AvgPatternSize: 1.25,
+		NumSeqPatterns: 20, NumItemsets: 40, NumItems: 30,
+		CorruptionMean: 0.4, CorruptionSD: 0.1, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := FromSynth(raw)
+	g := &GSP{MaxGap: 2}
+	res, err := g.Mine(data, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every reported support must equal a direct recount, and no frequent
+	// pattern may be missing from 2-sequences downward (spot-check by
+	// recounting all reported plus all pairs of frequent items).
+	for _, sc := range res.All() {
+		count := 0
+		for _, cust := range data {
+			if g.containsWithGaps(cust, sc.Seq) {
+				count++
+			}
+		}
+		if count != sc.Count {
+			t.Fatalf("support(%v) = %d, recount %d", sc.Seq, sc.Count, count)
+		}
+	}
+	// Completeness at the 2-sequence level: every pair of frequent items
+	// forming a frequent gapped 2-sequence must be reported.
+	var items []int
+	for _, sc := range res.Levels[0] {
+		items = append(items, sc.Seq[0][0])
+	}
+	minCount := res.MinCount
+	for _, x := range items {
+		for _, y := range items {
+			cand := Sequence{is(x), is(y)}
+			count := 0
+			for _, cust := range data {
+				if g.containsWithGaps(cust, cand) {
+					count++
+				}
+			}
+			if count >= minCount {
+				if _, ok := res.Support(cand); !ok {
+					t.Fatalf("missing frequent gapped sequence %v (support %d)", cand, count)
+				}
+			}
+		}
+	}
+}
+
+func TestGSPHugeMaxGapEqualsUnconstrained(t *testing.T) {
+	raw, err := synth.Sequences(synth.SequenceConfig{
+		NumCustomers: 60, AvgTxPerCust: 5, AvgTxSize: 2,
+		AvgSeqPatLen: 3, AvgPatternSize: 1.25,
+		NumSeqPatterns: 15, NumItemsets: 30, NumItems: 25,
+		CorruptionMean: 0.4, CorruptionSD: 0.1, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := FromSynth(raw)
+	plain, err := (&GSP{}).Mine(data, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := (&GSP{MaxGap: 1000}).Mine(data, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, hm := supportMap(plain), supportMap(huge)
+	if len(pm) != len(hm) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(pm), len(hm))
+	}
+	for k, v := range pm {
+		if hm[k] != v {
+			t.Errorf("%s: %d vs %d", k, v, hm[k])
+		}
+	}
+}

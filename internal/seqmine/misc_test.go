@@ -1,0 +1,90 @@
+package seqmine
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestMaximalCoversAllFrequent(t *testing.T) {
+	raw, err := synth.Sequences(synth.SequenceConfig{
+		NumCustomers: 120, AvgTxPerCust: 6, AvgTxSize: 2,
+		AvgSeqPatLen: 3, AvgPatternSize: 1.25,
+		NumSeqPatterns: 25, NumItemsets: 60, NumItems: 50,
+		CorruptionMean: 0.4, CorruptionSD: 0.1, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := FromSynth(raw)
+	res, err := (&GSP{}).Mine(data, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal := res.Maximal()
+	if len(maximal) == 0 {
+		t.Fatal("no maximal sequences")
+	}
+	// Every frequent sequence is contained in some maximal sequence.
+	for _, sc := range res.All() {
+		covered := false
+		for _, m := range maximal {
+			if m.Seq.Contains(sc.Seq) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("frequent %v not covered by any maximal sequence", sc.Seq)
+		}
+	}
+	// No maximal sequence is contained in a different maximal sequence.
+	for i, a := range maximal {
+		for j, b := range maximal {
+			if i == j || a.Seq.Equal(b.Seq) {
+				continue
+			}
+			if b.Seq.Contains(a.Seq) {
+				t.Fatalf("maximal %v contained in maximal %v", a.Seq, b.Seq)
+			}
+		}
+	}
+}
+
+func TestPassStatsMonotoneK(t *testing.T) {
+	data := paperData()
+	for _, m := range []Miner{&AprioriAll{}, &GSP{}} {
+		res, err := m.Mine(data, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range res.Passes {
+			if p.K != i+1 {
+				t.Errorf("%s: pass %d has K=%d", m.Name(), i, p.K)
+			}
+			if p.Frequent > p.Candidates && p.Candidates > 0 {
+				t.Errorf("%s: pass %d frequent %d > candidates %d",
+					m.Name(), i, p.Frequent, p.Candidates)
+			}
+		}
+	}
+}
+
+func TestFromSynthEmpty(t *testing.T) {
+	if got := FromSynth(nil); len(got) != 0 {
+		t.Errorf("FromSynth(nil) = %v", got)
+	}
+}
+
+func TestSupportCacheInvalidation(t *testing.T) {
+	res, err := (&GSP{}).Mine(paperData(), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two lookups, second from the cache, must agree.
+	s1, ok1 := res.Support(Sequence{is(30)})
+	s2, ok2 := res.Support(Sequence{is(30)})
+	if s1 != s2 || ok1 != ok2 {
+		t.Errorf("cache inconsistency: %d/%v vs %d/%v", s1, ok1, s2, ok2)
+	}
+}

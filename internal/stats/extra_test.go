@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStudentTSurvivalReference(t *testing.T) {
+	// Two-sided p-values from standard t tables.
+	tests := []struct {
+		t, df, want float64
+	}{
+		{2.262, 9, 0.05},
+		{3.250, 9, 0.01},
+		{12.706, 1, 0.05},
+		{0, 10, 1},
+	}
+	for _, tt := range tests {
+		got := studentTSurvival2(tt.t, tt.df)
+		if math.Abs(got-tt.want) > 2e-3 {
+			t.Errorf("studentTSurvival2(%v, %v) = %v, want ~%v", tt.t, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestRegularizedIncompleteBetaBounds(t *testing.T) {
+	if got := regularizedIncompleteBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regularizedIncompleteBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	a, b, x := 2.5, 4.0, 0.3
+	lhs := regularizedIncompleteBeta(a, b, x)
+	rhs := 1 - regularizedIncompleteBeta(b, a, 1-x)
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Errorf("symmetry violated: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestLowerRegularizedGammaKnown(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		got := lowerRegularizedGamma(1, x)
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := lowerRegularizedGamma(2, 0); got != 0 {
+		t.Errorf("P(2, 0) = %v", got)
+	}
+	if !math.IsNaN(lowerRegularizedGamma(-1, 1)) {
+		t.Error("negative a should be NaN")
+	}
+}
+
+func TestPairedTTestInfiniteT(t *testing.T) {
+	// Constant nonzero difference with zero variance: infinite t, p = 0.
+	a := []float64{1, 2, 3}
+	b := []float64{0, 1, 2}
+	tStat, _, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tStat, 1) {
+		t.Errorf("t = %v, want +Inf", tStat)
+	}
+	if p != 0 {
+		t.Errorf("p = %v, want 0", p)
+	}
+	tStat, _, _, err = PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tStat, -1) {
+		t.Errorf("t = %v, want -Inf", tStat)
+	}
+}
+
+func TestChiSquareSurvivalEdge(t *testing.T) {
+	if got := ChiSquareSurvival(-1, 3); got != 1 {
+		t.Errorf("negative chi2 = %v", got)
+	}
+	if got := ChiSquareSurvival(5, 0); got != 1 {
+		t.Errorf("df=0 = %v", got)
+	}
+	// Large statistic: p approaches 0.
+	if got := ChiSquareSurvival(1000, 1); got > 1e-10 {
+		t.Errorf("huge chi2 p = %v", got)
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Poisson draws a sample from a Poisson distribution with the given mean
+// using Knuth's multiplication method for small means and the normal
+// approximation (rounded, clamped at zero) for large means. The synthetic
+// transaction generators use this for transaction and itemset sizes.
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation; adequate for generator use where mean
+		// only controls a size distribution, not a test statistic.
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// WeightedChoice returns an index drawn from weights proportionally.
+// The weights need not be normalised; non-positive weights are skipped.
+// It returns -1 if no weight is positive.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return last positive index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// [0, n). If k >= n it returns the full permutation of [0, n).
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k >= n {
+		return rng.Perm(n)
+	}
+	// Floyd's algorithm: O(k) expected.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,400 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{4}, 4},
+		{"pair", []float64{2, 4}, 3},
+		{"negatives", []float64{-1, 1, -3, 3}, 0},
+		{"fractional", []float64{1.5, 2.5, 3.5}, 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.in)
+			if err != nil {
+				t.Fatalf("Mean(%v) error: %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample variance with n-1 denominator: sum sq dev = 32, /7.
+	if want := 32.0 / 7.0; !almostEqual(v, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, want)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(sd, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", sd, want)
+	}
+}
+
+func TestVarianceTooFew(t *testing.T) {
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance single error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{7}, 7},
+	}
+	for _, tt := range tests {
+		got, err := Median(tt.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: Median = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Median(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5) should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -2, 8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -2 || max != 8 {
+		t.Errorf("MinMax = (%v, %v), want (-2, 8)", min, max)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestChiSquareIndependence(t *testing.T) {
+	// Perfectly independent table: chi2 == 0, p == 1.
+	table := [][]float64{{10, 20}, {20, 40}}
+	chi2, df, p, err := ChiSquare(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(chi2, 0, 1e-9) || df != 1 || !almostEqual(p, 1, 1e-9) {
+		t.Errorf("independent: chi2=%v df=%d p=%v", chi2, df, p)
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	// Classic 2x2 example: chi2 = n(ad-bc)^2 / ((a+b)(c+d)(a+c)(b+d)).
+	table := [][]float64{{20, 30}, {30, 20}}
+	chi2, df, p, err := ChiSquare(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0 * math.Pow(20*20-30*30, 2) / (50 * 50 * 50 * 50)
+	if !almostEqual(chi2, want, 1e-9) {
+		t.Errorf("chi2 = %v, want %v", chi2, want)
+	}
+	if df != 1 {
+		t.Errorf("df = %d, want 1", df)
+	}
+	// chi2 = 4.0 with df 1 => p ~ 0.0455.
+	if !almostEqual(p, 0.04550026, 1e-6) {
+		t.Errorf("p = %v, want ~0.0455", p)
+	}
+}
+
+func TestChiSquareZeroMarginIgnored(t *testing.T) {
+	table := [][]float64{{10, 20, 0}, {20, 40, 0}}
+	_, df, _, err := ChiSquare(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 1 {
+		t.Errorf("df = %d, want 1 (zero column ignored)", df)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, _, err := ChiSquare(nil); err == nil {
+		t.Error("nil table should error")
+	}
+	if _, _, _, err := ChiSquare([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table should error")
+	}
+	if _, _, _, err := ChiSquare([][]float64{{1, -2}}); err == nil {
+		t.Error("negative cell should error")
+	}
+	if _, _, _, err := ChiSquare([][]float64{{0, 0}, {0, 0}}); err == nil {
+		t.Error("all-zero table should error")
+	}
+}
+
+func TestChiSquareSurvivalReferenceValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	tests := []struct {
+		chi2 float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{6.635, 1, 0.01},
+		{0, 1, 1},
+	}
+	for _, tt := range tests {
+		got := ChiSquareSurvival(tt.chi2, tt.df)
+		if !almostEqual(got, tt.want, 5e-4) {
+			t.Errorf("ChiSquareSurvival(%v, %d) = %v, want ~%v", tt.chi2, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestPairedTTest(t *testing.T) {
+	a := []float64{0.90, 0.85, 0.88, 0.92, 0.87}
+	b := []float64{0.80, 0.78, 0.81, 0.79, 0.80}
+	tStat, df, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tStat <= 0 {
+		t.Errorf("t = %v, want positive (a > b)", tStat)
+	}
+	if df != 4 {
+		t.Errorf("df = %d, want 4", df)
+	}
+	if p >= 0.05 {
+		t.Errorf("p = %v, want < 0.05 for clearly separated samples", p)
+	}
+}
+
+func TestPairedTTestIdentical(t *testing.T) {
+	a := []float64{1, 2, 3}
+	_, _, p, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("identical samples p = %v, want 1", p)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, _, _, err := PairedTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("too-short samples should error")
+	}
+}
+
+func TestPoissonMeanMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0.5, 2, 10, 50} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += Poisson(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.1*mean+0.1 {
+			t.Errorf("Poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Poisson(rng, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := Poisson(rng, -3); got != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 4)
+	}
+	if got := sum / float64(n); math.Abs(got-4) > 0.15 {
+		t.Errorf("Exponential mean = %v, want ~4", got)
+	}
+}
+
+func TestWeightedChoiceDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	n := 50000
+	for i := 0; i < n; i++ {
+		idx := WeightedChoice(rng, weights)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[2])
+	}
+	ratio := float64(counts[3]) / float64(counts[0])
+	if math.Abs(ratio-6) > 1 {
+		t.Errorf("weight ratio = %v, want ~6", ratio)
+	}
+}
+
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if got := WeightedChoice(rng, nil); got != -1 {
+		t.Errorf("empty weights = %d, want -1", got)
+	}
+	if got := WeightedChoice(rng, []float64{0, -1}); got != -1 {
+		t.Errorf("non-positive weights = %d, want -1", got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := SampleWithoutReplacement(rng, 100, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d, want 10", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, v := range got {
+		if v < 0 || v >= 100 {
+			t.Errorf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Errorf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if got := SampleWithoutReplacement(rng, 0, 5); got != nil {
+		t.Errorf("n=0 should return nil, got %v", got)
+	}
+	got := SampleWithoutReplacement(rng, 4, 10)
+	if len(got) != 4 {
+		t.Errorf("k>n should return full permutation, len=%d", len(got))
+	}
+}
+
+// Property: sampling k of n always yields k distinct in-range values.
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw % 200)
+		got := SampleWithoutReplacement(rng, n, k)
+		wantLen := k
+		if k > n {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chi-square of any table proportional to an outer product of
+// marginals is ~0 (independence).
+func TestChiSquareIndependenceProperty(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw, dRaw uint8) bool {
+		a := float64(aRaw%50) + 1
+		b := float64(bRaw%50) + 1
+		c := float64(cRaw%50) + 1
+		d := float64(dRaw%50) + 1
+		// Build rank-1 table: rows (a, b) x cols (c, d).
+		table := [][]float64{{a * c, a * d}, {b * c, b * d}}
+		chi2, _, _, err := ChiSquare(table)
+		return err == nil && chi2 < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// The classification benchmark of Agrawal, Imielinski & Swami (reused by
+// SLIQ, SPRINT and the decision-tree literature) generates people with nine
+// attributes and labels them "Group A" / "Group B" with one of ten
+// predicate functions F1..F10 of increasing difficulty.
+
+// person attribute column indices in the generated table.
+const (
+	ColSalary = iota
+	ColCommission
+	ColAge
+	ColELevel
+	ColCar
+	ColZipcode
+	ColHValue
+	ColHYears
+	ColLoan
+	colClass
+)
+
+// ClassifyConfig parameterises the classification-benchmark generator.
+type ClassifyConfig struct {
+	NumRows  int
+	Function int     // 1..10, selecting F1..F10
+	Noise    float64 // probability of flipping the label (paper: 0 or 0.05/0.10)
+	Seed     int64
+}
+
+// NumClassifyFunctions is the number of benchmark labelling functions.
+const NumClassifyFunctions = 10
+
+// Classify generates a labelled table for the selected function.
+func Classify(c ClassifyConfig) (*dataset.Table, error) {
+	if c.NumRows <= 0 {
+		return nil, fmt.Errorf("%w: NumRows=%d", ErrBadConfig, c.NumRows)
+	}
+	if c.Function < 1 || c.Function > NumClassifyFunctions {
+		return nil, fmt.Errorf("%w: Function=%d", ErrBadConfig, c.Function)
+	}
+	if c.Noise < 0 || c.Noise > 1 {
+		return nil, fmt.Errorf("%w: Noise=%v", ErrBadConfig, c.Noise)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	t := dataset.New(
+		dataset.NewNumericAttribute("salary"),
+		dataset.NewNumericAttribute("commission"),
+		dataset.NewNumericAttribute("age"),
+		dataset.NewNumericAttribute("elevel"),
+		dataset.NewNumericAttribute("car"),
+		dataset.NewNumericAttribute("zipcode"),
+		dataset.NewNumericAttribute("hvalue"),
+		dataset.NewNumericAttribute("hyears"),
+		dataset.NewNumericAttribute("loan"),
+		dataset.NewCategoricalAttribute("group", "A", "B"),
+	)
+	t.ClassIndex = colClass
+	for i := 0; i < c.NumRows; i++ {
+		p := randomPerson(rng)
+		label := 1.0 // Group B
+		if groupA(c.Function, p) {
+			label = 0.0
+		}
+		if c.Noise > 0 && rng.Float64() < c.Noise {
+			label = 1 - label
+		}
+		row := append(p[:], label)
+		if err := t.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// randomPerson draws the nine attributes with the benchmark's marginals.
+func randomPerson(rng *rand.Rand) [9]float64 {
+	var p [9]float64
+	p[ColSalary] = uniform(rng, 20000, 150000)
+	if p[ColSalary] >= 75000 {
+		p[ColCommission] = 0
+	} else {
+		p[ColCommission] = uniform(rng, 10000, 75000)
+	}
+	p[ColAge] = uniform(rng, 20, 80)
+	p[ColELevel] = float64(rng.Intn(5))
+	p[ColCar] = float64(1 + rng.Intn(20))
+	p[ColZipcode] = float64(1 + rng.Intn(9))
+	// House value depends on zipcode: uniform in [0.5, 1.5] * 100000 * zip.
+	p[ColHValue] = uniform(rng, 0.5, 1.5) * 100000 * p[ColZipcode]
+	p[ColHYears] = float64(1 + rng.Intn(30))
+	p[ColLoan] = uniform(rng, 0, 500000)
+	return p
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// groupA evaluates labelling function fn on person p, returning true for
+// Group A. The predicates follow the published benchmark definitions.
+func groupA(fn int, p [9]float64) bool {
+	salary, commission := p[ColSalary], p[ColCommission]
+	age, elevel := p[ColAge], p[ColELevel]
+	zipcode := p[ColZipcode]
+	hvalue, hyears, loan := p[ColHValue], p[ColHYears], p[ColLoan]
+	switch fn {
+	case 1:
+		return age < 40 || age >= 60
+	case 2:
+		switch {
+		case age < 40:
+			return salary >= 50000 && salary <= 100000
+		case age < 60:
+			return salary >= 75000 && salary <= 125000
+		default:
+			return salary >= 25000 && salary <= 75000
+		}
+	case 3:
+		switch {
+		case age < 40:
+			return elevel == 0 || elevel == 1
+		case age < 60:
+			return elevel >= 1 && elevel <= 3
+		default:
+			return elevel >= 2 && elevel <= 4
+		}
+	case 4:
+		switch {
+		case age < 40:
+			if elevel <= 1 {
+				return salary >= 25000 && salary <= 75000
+			}
+			return salary >= 50000 && salary <= 100000
+		case age < 60:
+			if elevel <= 1 {
+				return salary >= 50000 && salary <= 100000
+			}
+			return salary >= 75000 && salary <= 125000
+		default:
+			if elevel <= 1 {
+				return salary >= 25000 && salary <= 75000
+			}
+			return salary >= 50000 && salary <= 100000
+		}
+	case 5:
+		switch {
+		case age < 40:
+			if salary >= 50000 && salary <= 100000 {
+				return loan >= 100000 && loan <= 300000
+			}
+			return loan >= 200000 && loan <= 400000
+		case age < 60:
+			if salary >= 75000 && salary <= 125000 {
+				return loan >= 200000 && loan <= 400000
+			}
+			return loan >= 300000 && loan <= 500000
+		default:
+			if salary >= 25000 && salary <= 75000 {
+				return loan >= 100000 && loan <= 300000
+			}
+			return loan >= 300000 && loan <= 500000
+		}
+	case 6:
+		total := salary + commission
+		switch {
+		case age < 40:
+			return total >= 50000 && total <= 100000
+		case age < 60:
+			return total >= 75000 && total <= 125000
+		default:
+			return total >= 25000 && total <= 75000
+		}
+	case 7:
+		return 0.67*(salary+commission)-0.2*loan-20000 > 0
+	case 8:
+		return 0.67*(salary+commission)-5000*elevel-20000 > 0
+	case 9:
+		return 0.67*(salary+commission)-5000*elevel-0.2*loan+10000 > 0
+	case 10:
+		equity := 0.0
+		if hyears >= 20 {
+			equity = 0.1 * hvalue * (hyears - 20)
+		}
+		return 0.67*(salary+commission)-5000*elevel+0.2*equity-10000 > 0
+	default:
+		_ = zipcode
+		return false
+	}
+}

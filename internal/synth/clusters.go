@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Points is a set of d-dimensional points with ground-truth labels, used by
+// the clustering evaluations. Label -1 marks noise points.
+type Points struct {
+	X      [][]float64
+	Labels []int
+}
+
+// GaussianConfig parameterises a spherical Gaussian-mixture generator.
+type GaussianConfig struct {
+	NumPoints  int
+	NumCluster int
+	Dims       int
+	Spread     float64 // per-cluster standard deviation
+	Separation float64 // side of the hypercube the centres are drawn from
+	Seed       int64
+}
+
+// GaussianMixture draws NumPoints points from NumCluster spherical
+// Gaussians whose centres are uniform in [0, Separation]^Dims. Points are
+// assigned to clusters round-robin so all clusters have near-equal size.
+func GaussianMixture(c GaussianConfig) (*Points, error) {
+	if c.NumPoints <= 0 || c.NumCluster <= 0 || c.Dims <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, c)
+	}
+	if c.Spread <= 0 || c.Separation <= 0 {
+		return nil, fmt.Errorf("%w: non-positive spread/separation", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	centres := make([][]float64, c.NumCluster)
+	for k := range centres {
+		centres[k] = make([]float64, c.Dims)
+		for d := range centres[k] {
+			centres[k][d] = rng.Float64() * c.Separation
+		}
+	}
+	p := &Points{
+		X:      make([][]float64, c.NumPoints),
+		Labels: make([]int, c.NumPoints),
+	}
+	for i := 0; i < c.NumPoints; i++ {
+		k := i % c.NumCluster
+		x := make([]float64, c.Dims)
+		for d := range x {
+			x[d] = centres[k][d] + rng.NormFloat64()*c.Spread
+		}
+		p.X[i] = x
+		p.Labels[i] = k
+	}
+	return p, nil
+}
+
+// GridConfig parameterises the BIRCH-style "DS1" dataset: cluster centres
+// on a regular grid, equal-size spherical clusters.
+type GridConfig struct {
+	NumPoints  int
+	GridSide   int     // clusters form a GridSide x GridSide grid
+	CentreDist float64 // spacing between adjacent grid centres
+	Spread     float64 // cluster standard deviation
+	Seed       int64
+}
+
+// GaussianGrid generates the BIRCH DS1-style grid mixture in two
+// dimensions.
+func GaussianGrid(c GridConfig) (*Points, error) {
+	if c.NumPoints <= 0 || c.GridSide <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, c)
+	}
+	if c.CentreDist <= 0 || c.Spread <= 0 {
+		return nil, fmt.Errorf("%w: non-positive spacing/spread", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	k := c.GridSide * c.GridSide
+	p := &Points{
+		X:      make([][]float64, c.NumPoints),
+		Labels: make([]int, c.NumPoints),
+	}
+	for i := 0; i < c.NumPoints; i++ {
+		ci := i % k
+		cx := float64(ci%c.GridSide) * c.CentreDist
+		cy := float64(ci/c.GridSide) * c.CentreDist
+		p.X[i] = []float64{
+			cx + rng.NormFloat64()*c.Spread,
+			cy + rng.NormFloat64()*c.Spread,
+		}
+		p.Labels[i] = ci
+	}
+	return p, nil
+}
+
+// ShapeKind selects a non-convex benchmark shape for density-based
+// clustering evaluations (DBSCAN paper Fig. 1-style databases).
+type ShapeKind int
+
+const (
+	// TwoMoons is two interleaving half-circles.
+	TwoMoons ShapeKind = iota
+	// Rings is two concentric circles.
+	Rings
+)
+
+// ShapeConfig parameterises the shape generator.
+type ShapeConfig struct {
+	Kind      ShapeKind
+	NumPoints int
+	Jitter    float64 // Gaussian jitter added to each coordinate
+	NoiseFrac float64 // fraction of uniform background noise points (label -1)
+	Seed      int64
+}
+
+// Shapes generates a two-dimensional non-convex dataset with ground truth.
+func Shapes(c ShapeConfig) (*Points, error) {
+	if c.NumPoints <= 0 {
+		return nil, fmt.Errorf("%w: NumPoints=%d", ErrBadConfig, c.NumPoints)
+	}
+	if c.Jitter < 0 || c.NoiseFrac < 0 || c.NoiseFrac >= 1 {
+		return nil, fmt.Errorf("%w: jitter/noise", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	nNoise := int(c.NoiseFrac * float64(c.NumPoints))
+	nSignal := c.NumPoints - nNoise
+	p := &Points{
+		X:      make([][]float64, 0, c.NumPoints),
+		Labels: make([]int, 0, c.NumPoints),
+	}
+	for i := 0; i < nSignal; i++ {
+		label := i % 2
+		var x, y float64
+		theta := rng.Float64() * math.Pi
+		switch c.Kind {
+		case TwoMoons:
+			if label == 0 {
+				x = math.Cos(theta)
+				y = math.Sin(theta)
+			} else {
+				x = 1 - math.Cos(theta)
+				y = 0.5 - math.Sin(theta)
+			}
+		case Rings:
+			theta = rng.Float64() * 2 * math.Pi
+			r := 1.0
+			if label == 1 {
+				r = 2.5
+			}
+			x = r * math.Cos(theta)
+			y = r * math.Sin(theta)
+		default:
+			return nil, fmt.Errorf("%w: unknown shape %d", ErrBadConfig, c.Kind)
+		}
+		p.X = append(p.X, []float64{
+			x + rng.NormFloat64()*c.Jitter,
+			y + rng.NormFloat64()*c.Jitter,
+		})
+		p.Labels = append(p.Labels, label)
+	}
+	// Uniform background noise over the bounding box (with margin).
+	for i := 0; i < nNoise; i++ {
+		p.X = append(p.X, []float64{
+			uniform(rng, -4, 4),
+			uniform(rng, -4, 4),
+		})
+		p.Labels = append(p.Labels, -1)
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package tree
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// ErrNoHoldout is returned by reduced-error pruning without a holdout set.
+var ErrNoHoldout = errors.New("tree: reduced-error pruning needs a non-empty holdout table")
+
+// PrunePessimistic applies C4.5's pessimistic (error-based) pruning in
+// place: a subtree collapses to a leaf when the leaf's pessimistic error
+// estimate — the binomial upper confidence bound at the given confidence
+// level — does not exceed the subtree's. confidence defaults to C4.5's
+// 0.25 when zero or out of range.
+func (tr *Tree) PrunePessimistic(confidence float64) {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.25
+	}
+	z := normalQuantile(1 - confidence)
+	pruneNode(tr.Root, z)
+}
+
+// pruneNode returns the subtree's estimated error count after pruning.
+func pruneNode(n *Node, z float64) float64 {
+	leafErr := pessimisticErrors(n, z)
+	if n.IsLeaf() {
+		return leafErr
+	}
+	subtreeErr := 0.0
+	for _, c := range n.Children {
+		subtreeErr += pruneNode(c, z)
+	}
+	if leafErr <= subtreeErr+1e-12 {
+		n.Attr = -1
+		n.Children = nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// pessimisticErrors estimates the errors if n were a leaf: observed errors
+// plus C4.5's pessimistic increment U_CF(E, N).
+func pessimisticErrors(n *Node, z float64) float64 {
+	if n.N == 0 {
+		return 0
+	}
+	errs := n.N - n.ClassCounts[n.Class]
+	return float64(errs) + addErrs(float64(n.N), float64(errs), z)
+}
+
+// addErrs is C4.5's pessimistic error increment (the form used by Weka's
+// Utils.addErrs): exact binomial for E < 1, the continuity-corrected normal
+// upper bound otherwise. cf25z is the normal quantile of 1-CF; the exact
+// branch recovers CF from it.
+func addErrs(n, e, z float64) float64 {
+	cf := 1 - normalCDF(z)
+	if e < 1 {
+		// Exact: upper bound on the error rate when no errors were seen is
+		// 1 - CF^(1/N); interpolate for fractional 0 < e < 1.
+		base := n * (1 - math.Pow(cf, 1/n))
+		if e == 0 {
+			return base
+		}
+		return base + e*(addErrs(n, 1, z)-base)
+	}
+	if e+0.5 >= n {
+		return math.Max(0, n-e)
+	}
+	f := (e + 0.5) / n
+	r := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return r*n - e
+}
+
+// normalCDF is the standard normal CDF via erfc.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// normalQuantile inverts the standard normal CDF via Acklam's rational
+// approximation, accurate to ~1e-9 — far beyond what pruning needs.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := []float64{-39.69683028665376, 220.9460984245205, -275.9285104469687,
+		138.3577518672690, -30.66479806614716, 2.506628277459239}
+	b := []float64{-54.47609879822406, 161.5858368580409, -155.6989798598866,
+		66.80131188771972, -13.28068155288572}
+	c := []float64{-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+		-2.549732539343734, 4.374664141464968, 2.938163982698783}
+	d := []float64{0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+		3.754408661907416}
+	pLow := 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// PruneReducedError prunes bottom-up against a holdout table: a subtree
+// collapses when predicting its majority class on the holdout rows that
+// reach it makes no more errors than the subtree does.
+func (tr *Tree) PruneReducedError(holdout *dataset.Table) error {
+	if holdout == nil || holdout.NumRows() == 0 {
+		return ErrNoHoldout
+	}
+	rows := make([]int, holdout.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	tr.reducedError(tr.Root, holdout, rows)
+	return nil
+}
+
+// reducedError returns the subtree's holdout error count after pruning.
+func (tr *Tree) reducedError(n *Node, hold *dataset.Table, rows []int) int {
+	leafErrs := 0
+	for _, r := range rows {
+		if hold.Class(r) != n.Class {
+			leafErrs++
+		}
+	}
+	if n.IsLeaf() {
+		return leafErrs
+	}
+	// Route holdout rows to children.
+	parts := make([][]int, len(n.Children))
+	for _, r := range rows {
+		parts[tr.routeChild(n, hold.Rows[r])] = append(parts[tr.routeChild(n, hold.Rows[r])], r)
+	}
+	subtreeErrs := 0
+	for i, c := range n.Children {
+		subtreeErrs += tr.reducedError(c, hold, parts[i])
+	}
+	if leafErrs <= subtreeErrs {
+		n.Attr = -1
+		n.Children = nil
+		return leafErrs
+	}
+	return subtreeErrs
+}
+
+// routeChild returns the child index a row descends into at node n.
+func (tr *Tree) routeChild(n *Node, row []float64) int {
+	v := row[n.Attr]
+	if dataset.IsMissing(v) {
+		return n.MajorityChild
+	}
+	if tr.Attrs[n.Attr].Kind == dataset.Categorical {
+		idx := int(v)
+		if idx < 0 || idx >= len(n.Children) {
+			return n.MajorityChild
+		}
+		return idx
+	}
+	if v <= n.Threshold {
+		return 0
+	}
+	return 1
+}
