@@ -314,6 +314,92 @@ func BenchmarkExpK1Brute(b *testing.B) {
 	}
 }
 
+// --- EXP-P1: count-distribution parallelism and vertical layouts ---
+
+// Serial vs parallel counting for the level-wise miners. On multi-core
+// hosts the W4 variants should approach the core count; on a single-CPU
+// host they measure the engine's overhead instead.
+func BenchmarkParallelAprioriW1(b *testing.B) { benchMiner(b, &assoc.Apriori{Workers: 1}) }
+func BenchmarkParallelAprioriW2(b *testing.B) { benchMiner(b, &assoc.Apriori{Workers: 2}) }
+func BenchmarkParallelAprioriW4(b *testing.B) { benchMiner(b, &assoc.Apriori{Workers: 4}) }
+func BenchmarkParallelAprioriW8(b *testing.B) { benchMiner(b, &assoc.Apriori{Workers: 8}) }
+func BenchmarkParallelDHPW4(b *testing.B)     { benchMiner(b, &assoc.DHP{Workers: 4}) }
+func BenchmarkParallelPartitionW4(b *testing.B) {
+	benchMiner(b, &assoc.Partition{NumPartitions: 4, Workers: 4})
+}
+
+// Eclat vertical-layout ablation: sorted tid-list merging vs bitset
+// word-AND + popcount, on the sparse benchmark fixture and on a dense
+// small-universe one where bitsets shine.
+func denseBaskets(b *testing.B) *transactions.DB {
+	b.Helper()
+	denseOnce.Do(func() {
+		c := synth.TxI(10, 4, 4000, 94)
+		c.NumItems = 100
+		c.NumPatterns = 200
+		db, err := synth.Baskets(c)
+		if err != nil {
+			panic(err)
+		}
+		denseDB = db
+	})
+	return denseDB
+}
+
+var (
+	denseOnce sync.Once
+	denseDB   *transactions.DB
+)
+
+func benchEclat(b *testing.B, db *transactions.DB, layout assoc.TidLayout) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&assoc.Eclat{Layout: layout}).Mine(db, 0.0075); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEclatTIDListSparse(b *testing.B) { benchEclat(b, baskets(b), assoc.LayoutTIDList) }
+func BenchmarkEclatBitsetSparse(b *testing.B)  { benchEclat(b, baskets(b), assoc.LayoutBitset) }
+func BenchmarkEclatTIDListDense(b *testing.B)  { benchEclat(b, denseBaskets(b), assoc.LayoutTIDList) }
+func BenchmarkEclatBitsetDense(b *testing.B)   { benchEclat(b, denseBaskets(b), assoc.LayoutBitset) }
+
+// Micro-ablation: one intersection of two dense tid-sets in each layout.
+func intersectFixture() (a, bb []int, ba, bbBits *transactions.Bitset) {
+	const n = 100000
+	a = make([]int, 0, n/8)
+	bb = make([]int, 0, n/8)
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			a = append(a, i)
+		}
+		if i%8 == 2 || i%16 == 0 {
+			bb = append(bb, i)
+		}
+	}
+	return a, bb, transactions.BitsetFromTIDs(a, n), transactions.BitsetFromTIDs(bb, n)
+}
+
+func BenchmarkIntersectTIDList(b *testing.B) {
+	a, bb, _, _ := intersectFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transactions.IntersectSorted(a, bb)
+	}
+}
+
+func BenchmarkIntersectBitset(b *testing.B) {
+	_, _, ba, bbBits := intersectFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		transactions.AndBitset(ba, bbBits)
+	}
+}
+
 // --- Ablations (design decisions from DESIGN.md) ---
 
 // Hash tree vs map-based candidate counting inside Apriori.

@@ -7,12 +7,16 @@
 //	dmbench -quick        # laptop-seconds versions of every experiment
 //	dmbench -exp A1,C3    # selected experiments
 //	dmbench -list         # list experiment ids and titles
+//	dmbench -workers 4    # count-distribute miner scans across 4 goroutines
+//	dmbench -paralleljson BENCH_parallel.json   # emit the EXP-P1 baseline
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -20,9 +24,11 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quickFlag = flag.Bool("quick", false, "run reduced workloads")
-		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		expFlag      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		quickFlag    = flag.Bool("quick", false, "run reduced workloads")
+		listFlag     = flag.Bool("list", false, "list experiments and exit")
+		workersFlag  = flag.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS (same semantics as dmine)")
+		parallelJSON = flag.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -35,6 +41,27 @@ func main() {
 	scale := experiments.Full
 	if *quickFlag {
 		scale = experiments.Quick
+	}
+	if n := *workersFlag; n != 1 {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		experiments.DefaultWorkers = n
+	}
+	if *parallelJSON != "" {
+		// Measure into memory first so a failed or interrupted sweep never
+		// truncates an existing baseline file.
+		var buf bytes.Buffer
+		if err := experiments.WriteParallelBaseline(&buf, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "parallel baseline failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*parallelJSON, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote parallel baseline to %s\n", *parallelJSON)
+		return
 	}
 	var selected []experiments.Experiment
 	if *expFlag == "" {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -104,6 +105,7 @@ func runAssoc(args []string) error {
 	minconf := fs.Float64("minconf", 0.5, "minimum rule confidence")
 	algo := fs.String("algo", "Apriori", "mining algorithm (see core.Miners)")
 	topN := fs.Int("top", 20, "rules to print")
+	workers := fs.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +121,16 @@ func runAssoc(args []string) error {
 	miner, err := core.MinerByName(*algo)
 	if err != nil {
 		return err
+	}
+	if n := *workers; n != 1 {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if ws, ok := miner.(assoc.WorkerSetter); ok {
+			ws.SetWorkers(n)
+		} else {
+			fmt.Fprintf(os.Stderr, "dmine: %s does not support -workers; running serially\n", miner.Name())
+		}
 	}
 	res, err := miner.Mine(db, *minsup)
 	if err != nil {

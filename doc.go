@@ -7,6 +7,20 @@
 // evaluations used, and an experiment harness that regenerates those
 // evaluations' tables and figures.
 //
+// Support counting — the hot path of every level-wise miner — runs on a
+// shared count-distribution engine (internal/assoc): the transaction
+// database is split into contiguous zero-copy shards
+// (transactions.DB.Shards), each worker scans its shard into private
+// counters (flat item counts, the pass-2 triangular pair array, or a
+// hashtree.CountBuffer over the read-only candidate tree), and the
+// private counters are merged after the pass. Merged results are
+// bit-identical to the serial scan, so Apriori, DHP and Partition take a
+// Workers option that changes only wall-clock time. Eclat instead mines
+// the vertical layout and picks between sorted tid-lists and
+// transactions.Bitset (word-wise AND + popcount) by density. Future
+// incremental or distributed backends should reuse the same seams:
+// shard the DB, count into private structures, merge.
+//
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured-vs-published results. The root-level
 // benchmarks in bench_test.go mirror the experiment index.

@@ -29,10 +29,18 @@ type Apriori struct {
 	// Fanout and MaxLeaf override the hash-tree parameters when positive.
 	Fanout  int
 	MaxLeaf int
+	// Workers distributes every counting scan across this many goroutines
+	// (count distribution: private per-worker counters over contiguous
+	// database shards, merged after the pass). Values <= 1 run serially;
+	// results are identical either way.
+	Workers int
 }
 
 // Name implements Miner.
 func (a *Apriori) Name() string { return "Apriori" }
+
+// SetWorkers implements WorkerSetter.
+func (a *Apriori) SetWorkers(n int) { a.Workers = n }
 
 // Mine implements Miner.
 func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
@@ -42,7 +50,7 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	level := frequentOne(db, minCount)
+	level := frequentOneWorkers(db, minCount, a.Workers)
 	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
 	for k := 2; len(level) > 0; k++ {
 		res.Levels = append(res.Levels, level)
@@ -51,7 +59,7 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 			// L1, so candidates are counted in a triangular array indexed
 			// by L1 rank — no tree needed.
 			nCands := len(level) * (len(level) - 1) / 2
-			level = countPairsTriangular(db, level, minCount)
+			level = countPairsTriangular(db, level, minCount, a.Workers)
 			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: nCands, Frequent: len(level)})
 			continue
 		}
@@ -61,7 +69,7 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 		}
 		var counted []ItemsetCount
 		if a.Strategy == CountMap {
-			counted = countWithMap(db, cands, k)
+			counted = countWithMapWorkers(db, cands, k, a.Workers)
 		} else {
 			counted, err = a.countWithHashTree(db, cands, k)
 			if err != nil {
@@ -83,7 +91,9 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 // countPairsTriangular counts every pair of frequent items with a
 // triangular array over L1 ranks — the VLDB'94 second-pass optimisation.
 // l1 is sorted by item id, so emitted pairs are already lexicographic.
-func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount int) []ItemsetCount {
+// The scan is distributed across workers (each merges into a private
+// triangle) when workers > 1.
+func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount, workers int) []ItemsetCount {
 	n := len(l1)
 	if n < 2 {
 		return nil
@@ -95,22 +105,8 @@ func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount int) 
 	for r, ic := range l1 {
 		rank[ic.Items[0]] = r
 	}
-	counts := make([]int, n*(n-1)/2)
+	counts := countTriangle(db, rank, n, workers)
 	tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
-	ranks := make([]int, 0, 64)
-	for _, tx := range db.Transactions {
-		ranks = ranks[:0]
-		for _, item := range tx {
-			if r := rank[item]; r >= 0 {
-				ranks = append(ranks, r)
-			}
-		}
-		for a := 0; a < len(ranks); a++ {
-			for b := a + 1; b < len(ranks); b++ {
-				counts[tri(ranks[a], ranks[b])]++
-			}
-		}
-	}
 	var out []ItemsetCount
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -146,10 +142,8 @@ func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.It
 			return nil, err
 		}
 	}
-	for tid, tx := range db.Transactions {
-		tree.CountTransaction(tx, tid)
-	}
-	entries := tree.Entries(nil)
+	countTree(db, tree, a.Workers)
+	entries := tree.EntriesByID()
 	out := make([]ItemsetCount, len(entries))
 	for i, e := range entries {
 		out[i] = ItemsetCount{Items: e.Items, Count: e.Count}
@@ -157,38 +151,21 @@ func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.It
 	return out, nil
 }
 
-// countWithMap counts candidates by direct subset checks against a map of
-// candidate keys. To avoid enumerating all k-subsets of long transactions
-// it checks each candidate against each transaction when the candidate set
-// is small, and otherwise enumerates transaction subsets.
+// countWithMap counts candidates by direct subset checks against an index
+// of candidate keys. To avoid enumerating all k-subsets of long
+// transactions it checks each candidate against each transaction when the
+// candidate set is small, and otherwise enumerates transaction subsets.
 func countWithMap(db *transactions.DB, cands []transactions.Itemset, k int) []ItemsetCount {
-	counts := make(map[string]int, len(cands))
-	for _, c := range cands {
-		counts[c.Key()] = 0
-	}
-	for _, tx := range db.Transactions {
-		if len(tx) < k {
-			continue
-		}
-		// Enumerate k-subsets only for small transactions; otherwise test
-		// candidates directly.
-		if choose(len(tx), k) <= len(cands) {
-			forEachSubset(tx, k, func(sub transactions.Itemset) {
-				if _, ok := counts[sub.Key()]; ok {
-					counts[sub.Key()]++
-				}
-			})
-		} else {
-			for _, c := range cands {
-				if tx.ContainsAll(c) {
-					counts[c.Key()]++
-				}
-			}
-		}
-	}
-	out := make([]ItemsetCount, 0, len(cands))
-	for _, c := range cands {
-		out = append(out, ItemsetCount{Items: c, Count: counts[c.Key()]})
+	return countWithMapWorkers(db, cands, k, 1)
+}
+
+// countWithMapWorkers is countWithMap with the scan distributed across
+// workers via per-worker count arrays indexed by candidate rank.
+func countWithMapWorkers(db *transactions.DB, cands []transactions.Itemset, k, workers int) []ItemsetCount {
+	counts := countCandidatesDirect(db, cands, k, workers)
+	out := make([]ItemsetCount, len(cands))
+	for i, c := range cands {
+		out[i] = ItemsetCount{Items: c, Count: counts[i]}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
 	return out

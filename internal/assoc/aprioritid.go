@@ -218,7 +218,7 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 				}
 				est += m * (m - 1) / 2
 			}
-			level = countPairsTriangular(db, level, minCount)
+			level = countPairsTriangular(db, level, minCount, 1)
 			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: nCands, Frequent: len(level)})
 			if len(level) == 0 {
 				break

@@ -107,19 +107,7 @@ func checkInput(db *transactions.DB, minSupport float64) (int, error) {
 
 // frequentOne computes L1 by a counting scan, returned in item order.
 func frequentOne(db *transactions.DB, minCount int) []ItemsetCount {
-	counts := make([]int, db.NumItems())
-	for _, tx := range db.Transactions {
-		for _, item := range tx {
-			counts[item]++
-		}
-	}
-	var out []ItemsetCount
-	for item, c := range counts {
-		if c >= minCount {
-			out = append(out, ItemsetCount{Items: transactions.Itemset{item}, Count: c})
-		}
-	}
-	return out
+	return frequentOneWorkers(db, minCount, 1)
 }
 
 // sortLevel orders a level lexicographically in place.

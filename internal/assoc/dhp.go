@@ -16,10 +16,17 @@ import (
 type DHP struct {
 	// NumBuckets sizes the pass-1 hash table; zero means 1<<16.
 	NumBuckets int
+	// Workers distributes the counting scans (pass-1 histogram included)
+	// across this many goroutines with per-worker counters merged after
+	// each pass; <= 1 runs serially with identical results.
+	Workers int
 }
 
 // Name implements Miner.
 func (d *DHP) Name() string { return "DHP" }
+
+// SetWorkers implements WorkerSetter.
+func (d *DHP) SetWorkers(n int) { d.Workers = n }
 
 // Mine implements Miner.
 func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
@@ -33,18 +40,39 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	// Pass 1: item counts plus the pair-bucket histogram.
-	itemCounts := make([]int, db.NumItems())
-	bucket := make([]int, buckets)
-	for _, tx := range db.Transactions {
-		for _, item := range tx {
-			itemCounts[item]++
-		}
-		for i := 0; i < len(tx); i++ {
-			for j := i + 1; j < len(tx); j++ {
-				bucket[pairHash(tx[i], tx[j], buckets)]++
+	// Pass 1: item counts plus the pair-bucket histogram, count-distributed
+	// across workers (each fills a private histogram pair, merged after).
+	scan := func(sh transactions.Shard, ic, bc []int) {
+		for _, tx := range sh.Transactions {
+			for _, item := range tx {
+				ic[item]++
+			}
+			for i := 0; i < len(tx); i++ {
+				for j := i + 1; j < len(tx); j++ {
+					bc[pairHash(tx[i], tx[j], buckets)]++
+				}
 			}
 		}
+	}
+	var itemCounts, bucket []int
+	if d.Workers <= 1 {
+		itemCounts = make([]int, db.NumItems())
+		bucket = make([]int, buckets)
+		scan(transactions.Shard{Transactions: db.Transactions}, itemCounts, bucket)
+	} else {
+		// Part slices are sized to the worker cap; shards may be fewer and
+		// the resulting nil tails are no-ops for mergeCounts.
+		itemParts := make([][]int, d.Workers)
+		bucketParts := make([][]int, d.Workers)
+		forEachShard(db, d.Workers, func(shard int, sh transactions.Shard) {
+			ic := make([]int, db.NumItems())
+			bc := make([]int, buckets)
+			scan(sh, ic, bc)
+			itemParts[shard] = ic
+			bucketParts[shard] = bc
+		})
+		itemCounts = mergeCounts(itemParts, db.NumItems())
+		bucket = mergeCounts(bucketParts, buckets)
 	}
 	var level []ItemsetCount
 	for item, c := range itemCounts {
@@ -68,7 +96,7 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			}
 		}
 	}
-	apriori := &Apriori{}
+	apriori := &Apriori{Workers: d.Workers}
 	for k := 2; ; k++ {
 		var cands []transactions.Itemset
 		if k == 2 {

@@ -28,7 +28,7 @@ func TestAdaptiveFanout(t *testing.T) {
 func TestCountPairsTriangular(t *testing.T) {
 	db := paperDB(t)
 	l1 := frequentOne(db, 2) // items 1, 2, 3, 5
-	got := countPairsTriangular(db, l1, 2)
+	got := countPairsTriangular(db, l1, 2, 1)
 	want := map[string]int{"1,3": 2, "2,3": 2, "2,5": 3, "3,5": 2}
 	if len(got) != len(want) {
 		t.Fatalf("pairs = %v", got)
@@ -39,7 +39,7 @@ func TestCountPairsTriangular(t *testing.T) {
 		}
 	}
 	// Fewer than two frequent items: no pairs.
-	if got := countPairsTriangular(db, l1[:1], 2); got != nil {
+	if got := countPairsTriangular(db, l1[:1], 2, 1); got != nil {
 		t.Errorf("single-item pairs = %v", got)
 	}
 }

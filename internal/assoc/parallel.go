@@ -1,0 +1,191 @@
+package assoc
+
+// The count-distribution engine shared by the level-wise miners.
+//
+// Every support-counting pass has the same shape: scan the transactions,
+// accumulate counts into some structure, threshold. Count distribution
+// (the classic parallelisation of Apriori) splits the database into
+// contiguous shards, gives each worker a private copy of the counters,
+// and merges the copies after the scan — no locks on the hot path, and
+// the merged result is bit-identical to the serial scan because integer
+// addition is commutative and the shards tile the database exactly.
+//
+// The helpers here are the per-structure instantiations of that scheme:
+// flat item counters (pass 1), the triangular pair array (pass 2), the
+// candidate hash tree (pass 3+), and the candidate-index map counter used
+// by Partition's global phase. Miners opt in through a Workers option;
+// workers <= 1 runs the identical scan inline with no goroutines.
+
+import (
+	"sync"
+
+	"repro/internal/hashtree"
+	"repro/internal/transactions"
+)
+
+// WorkerSetter is implemented by the miners that support count-distribution
+// parallelism; the CLIs use it to apply a -workers flag uniformly.
+type WorkerSetter interface {
+	SetWorkers(n int)
+}
+
+// forEachShard runs fn once per shard on its own goroutine (at most
+// workers of them) and waits for all of them. The shard index, always
+// below the workers cap, lets fn address a private counter buffer.
+// workers <= 1 calls fn inline on a single whole-database shard.
+func forEachShard(db *transactions.DB, workers int, fn func(shard int, sh transactions.Shard)) {
+	if workers <= 1 {
+		fn(0, transactions.Shard{Transactions: db.Transactions})
+		return
+	}
+	var wg sync.WaitGroup
+	for i, sh := range db.Shards(workers) {
+		wg.Add(1)
+		go func(i int, sh transactions.Shard) {
+			defer wg.Done()
+			fn(i, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+}
+
+// countShardedInts is the engine's common case: scan fills a private
+// []int counter of length n from one shard; the per-shard counters are
+// merged by addition. workers <= 1 scans the whole database inline.
+func countShardedInts(db *transactions.DB, workers, n int, scan func(sh transactions.Shard, counts []int)) []int {
+	if workers <= 1 {
+		counts := make([]int, n)
+		scan(transactions.Shard{Transactions: db.Transactions}, counts)
+		return counts
+	}
+	// Sized to workers, not the (possibly smaller) shard count; nil tails
+	// are no-ops for mergeCounts.
+	parts := make([][]int, workers)
+	forEachShard(db, workers, func(shard int, sh transactions.Shard) {
+		counts := make([]int, n)
+		scan(sh, counts)
+		parts[shard] = counts
+	})
+	return mergeCounts(parts, n)
+}
+
+// countItems returns per-item transaction-occurrence counts (the pass-1
+// scan), distributed across workers.
+func countItems(db *transactions.DB, workers int) []int {
+	return countShardedInts(db, workers, db.NumItems(), func(sh transactions.Shard, counts []int) {
+		for _, tx := range sh.Transactions {
+			for _, item := range tx {
+				counts[item]++
+			}
+		}
+	})
+}
+
+// mergeCounts sums per-worker count arrays into one.
+func mergeCounts(parts [][]int, n int) []int {
+	out := make([]int, n)
+	for _, p := range parts {
+		for i, c := range p {
+			out[i] += c
+		}
+	}
+	return out
+}
+
+// frequentOneWorkers is frequentOne with the scan distributed.
+func frequentOneWorkers(db *transactions.DB, minCount, workers int) []ItemsetCount {
+	counts := countItems(db, workers)
+	var out []ItemsetCount
+	for item, c := range counts {
+		if c >= minCount {
+			out = append(out, ItemsetCount{Items: transactions.Itemset{item}, Count: c})
+		}
+	}
+	return out
+}
+
+// countTree scans the database through a fully built candidate hash tree.
+// With workers > 1 each worker counts its shard into a private
+// hashtree.CountBuffer (the tree itself is only read), merged afterwards.
+func countTree(db *transactions.DB, tree *hashtree.Tree, workers int) {
+	if workers <= 1 {
+		for tid, tx := range db.Transactions {
+			tree.CountTransaction(tx, tid)
+		}
+		return
+	}
+	bufs := make([]*hashtree.CountBuffer, workers)
+	forEachShard(db, workers, func(shard int, sh transactions.Shard) {
+		buf := tree.NewCountBuffer()
+		for off, tx := range sh.Transactions {
+			tree.CountTransactionInto(tx, sh.Base+off, buf)
+		}
+		bufs[shard] = buf
+	})
+	for _, buf := range bufs {
+		if buf != nil {
+			tree.Merge(buf)
+		}
+	}
+}
+
+// countTriangle runs the pass-2 triangular pair scan: rank maps item id to
+// L1 rank (-1 for infrequent items), and the result is the merged
+// n*(n-1)/2 triangular count array over ranks.
+func countTriangle(db *transactions.DB, rank []int, n, workers int) []int {
+	scan := func(txs []transactions.Itemset, counts []int) {
+		tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
+		ranks := make([]int, 0, 64)
+		for _, tx := range txs {
+			ranks = ranks[:0]
+			for _, item := range tx {
+				if r := rank[item]; r >= 0 {
+					ranks = append(ranks, r)
+				}
+			}
+			for a := 0; a < len(ranks); a++ {
+				for b := a + 1; b < len(ranks); b++ {
+					counts[tri(ranks[a], ranks[b])]++
+				}
+			}
+		}
+	}
+	return countShardedInts(db, workers, n*(n-1)/2, func(sh transactions.Shard, counts []int) {
+		scan(sh.Transactions, counts)
+	})
+}
+
+// countCandidatesDirect counts each candidate's support by direct subset
+// tests / subset enumeration (the map strategy), returning counts indexed
+// like cands. The per-transaction strategy choice depends only on the
+// transaction, so sharding does not change which branch runs for a given
+// transaction and the merged counts equal the serial scan's.
+func countCandidatesDirect(db *transactions.DB, cands []transactions.Itemset, k, workers int) []int {
+	idx := make(map[string]int, len(cands))
+	for i, c := range cands {
+		idx[c.Key()] = i
+	}
+	scan := func(txs []transactions.Itemset, counts []int) {
+		for _, tx := range txs {
+			if len(tx) < k {
+				continue
+			}
+			if choose(len(tx), k) <= len(cands) {
+				forEachSubset(tx, k, func(sub transactions.Itemset) {
+					if i, ok := idx[sub.Key()]; ok {
+						counts[i]++
+					}
+				})
+			} else {
+				for i, c := range cands {
+					if tx.ContainsAll(c) {
+						counts[i]++
+					}
+				}
+			}
+		}
+	}
+	return countShardedInts(db, workers, len(cands), func(sh transactions.Shard, counts []int) {
+		scan(sh.Transactions, counts)
+	})
+}

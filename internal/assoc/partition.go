@@ -3,6 +3,7 @@ package assoc
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/transactions"
 )
@@ -18,7 +19,14 @@ type Partition struct {
 	// NumPartitions is the number of chunks; zero or one degenerates to a
 	// single partition (still a correct, two-scan run).
 	NumPartitions int
+	// Workers bounds how many partitions are mined concurrently in phase 1
+	// and distributes the phase-2 global counting scan; <= 1 runs serially
+	// with identical results.
+	Workers int
 }
+
+// SetWorkers implements WorkerSetter.
+func (p *Partition) SetWorkers(n int) { p.Workers = n }
 
 // Name implements Miner.
 func (p *Partition) Name() string {
@@ -43,11 +51,31 @@ func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, erro
 	// Phase 1: local frequent itemsets per partition, via tidlists. The
 	// local minimum support is ceil(rel * partition size), matching the
 	// paper's guarantee that a globally frequent itemset is locally
-	// frequent somewhere.
+	// frequent somewhere. Partitions are independent, so with Workers > 1
+	// they are mined concurrently (bounded by a semaphore) and their local
+	// results merged in partition order.
+	local := make([][]transactions.Itemset, len(parts))
+	if p.Workers > 1 {
+		sem := make(chan struct{}, p.Workers)
+		var wg sync.WaitGroup
+		for i, part := range parts {
+			wg.Add(1)
+			go func(i int, part *transactions.DB) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				local[i] = mineVertical(part, part.AbsoluteSupport(minSupport))
+			}(i, part)
+		}
+		wg.Wait()
+	} else {
+		for i, part := range parts {
+			local[i] = mineVertical(part, part.AbsoluteSupport(minSupport))
+		}
+	}
 	candidateKeys := make(map[string]transactions.Itemset)
-	for _, part := range parts {
-		localMin := part.AbsoluteSupport(minSupport)
-		for _, is := range mineVertical(part, localMin) {
+	for _, sets := range local {
+		for _, is := range sets {
 			if _, ok := candidateKeys[is.Key()]; !ok {
 				candidateKeys[is.Key()] = is
 			}
@@ -71,7 +99,7 @@ func (p *Partition) countGlobal(db *transactions.DB, candidateKeys map[string]tr
 	sort.Ints(lens)
 	for _, l := range lens {
 		cands := byLen[l]
-		counted := countWithMap(db, cands, l)
+		counted := countWithMapWorkers(db, cands, l, p.Workers)
 		var level []ItemsetCount
 		for _, ic := range counted {
 			if ic.Count >= minCount {

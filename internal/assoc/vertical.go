@@ -2,19 +2,63 @@ package assoc
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/transactions"
 )
 
-// Eclat mines frequent itemsets in the vertical (tid-list) layout:
-// candidate tid-lists are the intersections of their generators'
-// tid-lists, so support counting needs no database rescans (Zaki et al.;
-// the same machinery the Partition algorithm applies per partition —
-// here run over the whole database).
-type Eclat struct{}
+// TidLayout selects Eclat's vertical representation.
+type TidLayout int
+
+const (
+	// LayoutAuto picks bitsets when the frequent items are dense enough
+	// (mean density >= the cutoff) and tid-lists otherwise.
+	LayoutAuto TidLayout = iota
+	// LayoutTIDList forces sorted tid-list intersections.
+	LayoutTIDList
+	// LayoutBitset forces bitset (word-wise AND + popcount) intersections.
+	LayoutBitset
+)
+
+// DefaultDensityCutoff is the mean frequent-item density above which
+// LayoutAuto switches to bitsets. A tid-list entry costs one 64-bit word
+// per transaction containing the item, a bitset costs NumTx/64 words
+// regardless, so bitsets win once lists hold more than ~1/64 of the
+// transactions; the default adds headroom for the popcount advantage.
+const DefaultDensityCutoff = 1.0 / 64
+
+// Eclat mines frequent itemsets in the vertical layout: candidate tid-sets
+// are the intersections of their generators' tid-sets, so support counting
+// needs no database rescans (Zaki et al.; the same machinery the Partition
+// algorithm applies per partition — here run over the whole database).
+// Dense databases use the Bitset layout, where an intersection is an
+// in-place word-wise AND with popcount support; sparse ones fall back to
+// sorted tid-list merging.
+type Eclat struct {
+	// Layout selects tid-lists vs bitsets; zero value decides by density.
+	Layout TidLayout
+	// DensityCutoff overrides DefaultDensityCutoff when positive.
+	DensityCutoff float64
+	// Workers distributes each level's candidate intersections across this
+	// many goroutines; <= 1 runs serially with identical results.
+	Workers int
+}
 
 // Name implements Miner.
 func (e *Eclat) Name() string { return "Eclat" }
+
+// SetWorkers implements WorkerSetter.
+func (e *Eclat) SetWorkers(n int) { e.Workers = n }
+
+// eclatNode is one frequent itemset with its tid-set in either layout
+// (exactly one of tids/bits is set).
+type eclatNode struct {
+	items transactions.Itemset
+	tids  []int
+	bits  *transactions.Bitset
+	sup   int
+}
 
 // Mine implements Miner.
 func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
@@ -23,21 +67,42 @@ func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
-	vert := db.ToVertical()
 
-	type node struct {
-		items transactions.Itemset
-		tids  []int
-	}
-	items := make([]int, 0, len(vert.TIDLists))
-	for item := range vert.TIDLists {
-		items = append(items, item)
-	}
-	sort.Ints(items)
-	var level []node
-	for _, item := range items {
-		if tids := vert.TIDLists[item]; len(tids) >= minCount {
-			level = append(level, node{items: transactions.Itemset{item}, tids: tids})
+	var level []eclatNode
+	if e.Layout == LayoutBitset {
+		// Forced bitset layout builds the bitset vertical view directly —
+		// one database scan, no tid-list intermediate.
+		vert := db.ToVerticalBitset()
+		items := make([]int, 0, len(vert.Bits))
+		for item := range vert.Bits {
+			items = append(items, item)
+		}
+		sort.Ints(items)
+		for _, item := range items {
+			bits := vert.Bits[item]
+			if sup := bits.OnesCount(); sup >= minCount {
+				level = append(level, eclatNode{items: transactions.Itemset{item}, bits: bits, sup: sup})
+			}
+		}
+	} else {
+		vert := db.ToVertical()
+		items := make([]int, 0, len(vert.TIDLists))
+		for item := range vert.TIDLists {
+			items = append(items, item)
+		}
+		sort.Ints(items)
+		totalTids := 0
+		for _, item := range items {
+			if tids := vert.TIDLists[item]; len(tids) >= minCount {
+				level = append(level, eclatNode{items: transactions.Itemset{item}, tids: tids, sup: len(tids)})
+				totalTids += len(tids)
+			}
+		}
+		if e.useBitsets(len(level), totalTids, db.Len()) {
+			for i := range level {
+				level[i].bits = transactions.BitsetFromTIDs(level[i].tids, db.Len())
+				level[i].tids = nil
+			}
 		}
 	}
 	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
@@ -45,33 +110,115 @@ func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	for k := 1; len(level) > 0; k++ {
 		counts := make([]ItemsetCount, len(level))
 		for i, nd := range level {
-			counts[i] = ItemsetCount{Items: nd.items, Count: len(nd.tids)}
+			counts[i] = ItemsetCount{Items: nd.items, Count: nd.sup}
 		}
 		res.Levels = append(res.Levels, counts)
 
-		var next []node
-		candidates := 0
-		for i := 0; i < len(level); i++ {
-			for j := i + 1; j < len(level); j++ {
-				a, b := level[i], level[j]
-				if !samePrefix(a.items, b.items, len(a.items)-1) {
-					break
-				}
-				candidates++
-				tids := transactions.IntersectSorted(a.tids, b.tids)
-				if len(tids) < minCount {
-					continue
-				}
-				cand := make(transactions.Itemset, len(a.items)+1)
-				copy(cand, a.items)
-				cand[len(a.items)] = b.items[len(b.items)-1]
-				next = append(next, node{items: cand, tids: tids})
-			}
-		}
+		next, candidates := e.joinLevel(level, minCount)
 		if candidates > 0 {
 			res.Passes = append(res.Passes, PassStat{K: k + 1, Candidates: candidates, Frequent: len(next)})
 		}
 		level = next
 	}
 	return res, nil
+}
+
+// useBitsets decides the auto layout (forced LayoutBitset never reaches
+// here). totalTids is the summed tid-list length of the frequent items, so
+// totalTids/(n*numTx) is their mean density.
+func (e *Eclat) useBitsets(n, totalTids, numTx int) bool {
+	if e.Layout == LayoutTIDList || n == 0 || numTx == 0 {
+		return false
+	}
+	cutoff := e.DensityCutoff
+	if cutoff <= 0 {
+		cutoff = DefaultDensityCutoff
+	}
+	return float64(totalTids)/float64(n*numTx) >= cutoff
+}
+
+// joinLevel produces the next level by joining equal-prefix node pairs and
+// intersecting their tid-sets. The work is split by left-join index i
+// (each i's joins are independent given the level snapshot), pulled by
+// workers from an atomic counter and reassembled in i order, so the output
+// is identical to the serial join.
+func (e *Eclat) joinLevel(level []eclatNode, minCount int) ([]eclatNode, int) {
+	joinsFor := func(i int, dst []eclatNode) ([]eclatNode, int) {
+		candidates := 0
+		a := level[i]
+		for j := i + 1; j < len(level); j++ {
+			b := level[j]
+			if !samePrefix(a.items, b.items, len(a.items)-1) {
+				break
+			}
+			candidates++
+			var nd eclatNode
+			if a.bits != nil {
+				// Read-only count first: most joins are pruned, and a
+				// pruned candidate should cost neither an allocation nor
+				// any word writes. Survivors pay one more AND pass to
+				// materialise; measured faster than a fused write-always
+				// scratch pass because prunes dominate.
+				nd.sup = transactions.AndCount(a.bits, b.bits)
+				if nd.sup < minCount {
+					continue
+				}
+				nd.bits = transactions.AndBitset(a.bits, b.bits)
+			} else {
+				tids := transactions.IntersectSorted(a.tids, b.tids)
+				nd.sup = len(tids)
+				if nd.sup < minCount {
+					continue
+				}
+				nd.tids = tids
+			}
+			cand := make(transactions.Itemset, len(a.items)+1)
+			copy(cand, a.items)
+			cand[len(a.items)] = b.items[len(b.items)-1]
+			nd.items = cand
+			dst = append(dst, nd)
+		}
+		return dst, candidates
+	}
+
+	if e.Workers <= 1 || len(level) < 2 {
+		var next []eclatNode
+		candidates := 0
+		for i := 0; i < len(level); i++ {
+			var c int
+			next, c = joinsFor(i, next)
+			candidates += c
+		}
+		return next, candidates
+	}
+
+	perI := make([][]eclatNode, len(level))
+	candsPerI := make([]int, len(level))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	workers := e.Workers
+	if workers > len(level) {
+		workers = len(level)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(level) {
+					return
+				}
+				perI[i], candsPerI[i] = joinsFor(i, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	var next []eclatNode
+	candidates := 0
+	for i := range perI {
+		next = append(next, perI[i]...)
+		candidates += candsPerI[i]
+	}
+	return next, candidates
 }

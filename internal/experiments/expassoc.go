@@ -15,7 +15,7 @@ func a1Miners() []assoc.Miner {
 		&assoc.SETM{},
 		&assoc.AIS{},
 		&assoc.AprioriTid{},
-		&assoc.Apriori{},
+		withWorkers(&assoc.Apriori{}),
 		&assoc.AprioriHybrid{},
 	}
 }
@@ -82,7 +82,7 @@ func RunA2(w io.Writer, s Scale) error {
 	if err != nil {
 		return err
 	}
-	for _, m := range []assoc.Miner{&assoc.Apriori{}, &assoc.AIS{}} {
+	for _, m := range []assoc.Miner{withWorkers(&assoc.Apriori{}), &assoc.AIS{}} {
 		res, err := m.Mine(db, 0.0075)
 		if err != nil {
 			return err
@@ -102,7 +102,7 @@ func RunA3(w io.Writer, s Scale) error {
 	if s == Full {
 		sizes = []int{2500, 5000, 10000, 25000, 50000}
 	}
-	miners := []assoc.Miner{&assoc.Apriori{}, &assoc.AprioriTid{}, &assoc.AprioriHybrid{}}
+	miners := []assoc.Miner{withWorkers(&assoc.Apriori{}), &assoc.AprioriTid{}, &assoc.AprioriHybrid{}}
 	fmt.Fprintf(w, "%-10s", "D")
 	for _, m := range miners {
 		fmt.Fprintf(w, "%14s", m.Name())
@@ -138,7 +138,7 @@ func RunA4(w io.Writer, s Scale) error {
 	if s == Full {
 		budget = 100000
 	}
-	miners := []assoc.Miner{&assoc.Apriori{}, &assoc.AprioriTid{}, &assoc.AprioriHybrid{}}
+	miners := []assoc.Miner{withWorkers(&assoc.Apriori{}), &assoc.AprioriTid{}, &assoc.AprioriHybrid{}}
 	fmt.Fprintf(w, "%-8s%-10s", "T", "D")
 	for _, m := range miners {
 		fmt.Fprintf(w, "%14s", m.Name())
@@ -194,7 +194,7 @@ func RunA5(w io.Writer, s Scale) error {
 	for _, sup := range supports {
 		fmt.Fprintf(w, "%-8.2f", sup*100)
 		dur, err := timeIt(func() error {
-			_, e := (&assoc.Apriori{}).Mine(db, sup)
+			_, e := withWorkers(&assoc.Apriori{}).Mine(db, sup)
 			return e
 		})
 		if err != nil {
@@ -202,7 +202,7 @@ func RunA5(w io.Writer, s Scale) error {
 		}
 		fmt.Fprintf(w, "%14s", ms(dur))
 		for _, p := range parts {
-			m := &assoc.Partition{NumPartitions: p}
+			m := withWorkers(&assoc.Partition{NumPartitions: p})
 			dur, err := timeIt(func() error {
 				_, e := m.Mine(db, sup)
 				return e

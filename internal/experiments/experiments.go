@@ -54,6 +54,7 @@ func All() []Experiment {
 		{ID: "R1", Title: "Rule extraction from decision trees", Run: RunR1},
 		{ID: "Q1", Title: "Quantitative association rules (SIGMOD'96)", Run: RunQ1},
 		{ID: "E1", Title: "Bagging and boosting vs single trees", Run: RunE1},
+		{ID: "P1", Title: "Parallel count-distribution scaling and Eclat layouts", Run: RunP1},
 	}
 }
 

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/assoc"
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+// DefaultWorkers is applied to every miner that supports count
+// distribution when an experiment builds its lineup; cmd/dmbench sets it
+// from -workers. 0 or 1 keeps the serial scans.
+var DefaultWorkers = 0
+
+// withWorkers applies DefaultWorkers to a miner when it supports it.
+func withWorkers(m assoc.Miner) assoc.Miner {
+	if DefaultWorkers > 1 {
+		if ws, ok := m.(assoc.WorkerSetter); ok {
+			ws.SetWorkers(DefaultWorkers)
+		}
+	}
+	return m
+}
+
+// p1Fixture returns the scaling fixture: the T10.I4 workload the parallel
+// acceptance target is defined on.
+func p1Fixture(s Scale) (*transactions.DB, string, error) {
+	d := 1000
+	if s == Full {
+		d = 4000
+	}
+	db, err := synth.Baskets(synth.TxI(10, 4, d, 94))
+	return db, fmt.Sprintf("T10.I4.D%d", d), err
+}
+
+// p1DenseFixture returns a small-universe (dense tid-list) workload where
+// the bitset layout's word-wise AND pays off most.
+func p1DenseFixture(s Scale) (*transactions.DB, string, error) {
+	d := 1000
+	if s == Full {
+		d = 4000
+	}
+	c := synth.TxI(10, 4, d, 94)
+	c.NumItems = 100
+	c.NumPatterns = 200
+	db, err := synth.Baskets(c)
+	return db, fmt.Sprintf("T10.I4.D%d.N100", d), err
+}
+
+const p1MinSup = 0.0075
+
+// bestOf mines three times and returns the fastest wall-clock duration —
+// the usual noise guard for coarse single-shot timings.
+func bestOf(m assoc.Miner, db *transactions.DB, minSup float64) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		d, err := timeIt(func() error {
+			_, e := m.Mine(db, minSup)
+			return e
+		})
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// p1Lineup returns the count-distributed miners the scaling sweep covers,
+// built fresh per worker count.
+func p1Lineup(workers int) []assoc.Miner {
+	return []assoc.Miner{
+		&assoc.Apriori{Workers: workers},
+		&assoc.DHP{Workers: workers},
+		&assoc.Partition{NumPartitions: 4, Workers: workers},
+	}
+}
+
+var p1WorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelRun is one timed configuration of the scaling sweep.
+type ParallelRun struct {
+	Miner   string  `json:"miner"`
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // serial time / this time, same miner
+}
+
+// EclatLayoutRun is one timed Eclat layout configuration.
+type EclatLayoutRun struct {
+	Fixture string  `json:"fixture"`
+	Layout  string  `json:"layout"`
+	Millis  float64 `json:"ms"`
+	Speedup float64 `json:"speedup"` // tid-list time / this time, same fixture
+}
+
+// ParallelBaseline is the machine-readable output of EXP-P1, persisted as
+// BENCH_parallel.json so later PRs have a perf trajectory to compare
+// against.
+type ParallelBaseline struct {
+	Fixture      string           `json:"fixture"`
+	MinSupport   float64          `json:"minsup"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	NumCPU       int              `json:"numcpu"`
+	Runs         []ParallelRun    `json:"runs"`
+	EclatLayouts []EclatLayoutRun `json:"eclat_layouts"`
+	Note         string           `json:"note,omitempty"`
+}
+
+// MeasureParallelBaseline runs the serial-vs-2/4/8-workers sweep and the
+// Eclat layout ablation.
+func MeasureParallelBaseline(s Scale) (*ParallelBaseline, error) {
+	db, fixture, err := p1Fixture(s)
+	if err != nil {
+		return nil, err
+	}
+	base := &ParallelBaseline{
+		Fixture:    fixture,
+		MinSupport: p1MinSup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	serialMS := map[string]float64{}
+	for _, workers := range p1WorkerCounts {
+		for _, m := range p1Lineup(workers) {
+			d, err := bestOf(m, db, p1MinSup)
+			if err != nil {
+				return nil, err
+			}
+			msVal := float64(d.Microseconds()) / 1000.0
+			if workers == 1 {
+				serialMS[m.Name()] = msVal
+			}
+			speedup := 0.0
+			if s := serialMS[m.Name()]; s > 0 && msVal > 0 {
+				speedup = s / msVal
+			}
+			base.Runs = append(base.Runs, ParallelRun{
+				Miner: m.Name(), Workers: workers, Millis: msVal, Speedup: speedup,
+			})
+		}
+	}
+	// Eclat tid-list vs bitset, on the sparse and the dense fixture.
+	denseDB, denseName, err := p1DenseFixture(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, fx := range []struct {
+		name string
+		db   *transactions.DB
+	}{{fixture, db}, {denseName, denseDB}} {
+		tidMS := 0.0
+		for _, layout := range []struct {
+			name string
+			l    assoc.TidLayout
+		}{{"tidlist", assoc.LayoutTIDList}, {"bitset", assoc.LayoutBitset}} {
+			d, err := bestOf(&assoc.Eclat{Layout: layout.l}, fx.db, p1MinSup)
+			if err != nil {
+				return nil, err
+			}
+			msVal := float64(d.Microseconds()) / 1000.0
+			if layout.name == "tidlist" {
+				tidMS = msVal
+			}
+			speedup := 0.0
+			if tidMS > 0 && msVal > 0 {
+				speedup = tidMS / msVal
+			}
+			base.EclatLayouts = append(base.EclatLayouts, EclatLayoutRun{
+				Fixture: fx.name, Layout: layout.name, Millis: msVal, Speedup: speedup,
+			})
+		}
+	}
+	if base.GOMAXPROCS < 2 {
+		base.Note = "measured on a single-CPU host: count-distribution cannot show wall-clock speedup here; re-emit on a multi-core machine for the scaling trajectory"
+	}
+	return base, nil
+}
+
+// WriteParallelBaseline emits the baseline as indented JSON.
+func WriteParallelBaseline(w io.Writer, s Scale) error {
+	base, err := MeasureParallelBaseline(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// RunP1 prints the parallel scaling sweep as a table: the count-distributed
+// miners at 1/2/4/8 workers plus the Eclat layout ablation.
+func RunP1(w io.Writer, s Scale) error {
+	header(w, "P1", "count-distribution scaling and Eclat layout ablation")
+	base, err := MeasureParallelBaseline(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s at minsup %.4f (GOMAXPROCS=%d)\n", base.Fixture, base.MinSupport, base.GOMAXPROCS)
+	fmt.Fprintf(w, "%-16s%10s%12s%10s\n", "miner", "workers", "ms", "speedup")
+	for _, r := range base.Runs {
+		fmt.Fprintf(w, "%-16s%10d%12.1f%10.2f\n", r.Miner, r.Workers, r.Millis, r.Speedup)
+	}
+	fmt.Fprintf(w, "\n%-20s%-10s%12s%10s\n", "fixture", "layout", "ms", "speedup")
+	for _, r := range base.EclatLayouts {
+		fmt.Fprintf(w, "%-20s%-10s%12.1f%10.2f\n", r.Fixture, r.Layout, r.Millis, r.Speedup)
+	}
+	if base.Note != "" {
+		fmt.Fprintf(w, "\nnote: %s\n", base.Note)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestParallelBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteParallelBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base ParallelBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.MinSupport <= 0 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	// 3 miners x 4 worker counts, plus 2 fixtures x 2 Eclat layouts.
+	if len(base.Runs) != 12 {
+		t.Fatalf("runs = %d, want 12", len(base.Runs))
+	}
+	if len(base.EclatLayouts) != 4 {
+		t.Fatalf("eclat layouts = %d, want 4", len(base.EclatLayouts))
+	}
+	for _, r := range base.Runs {
+		if r.Millis <= 0 || r.Speedup <= 0 {
+			t.Errorf("run %+v has non-positive timing", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Errorf("serial run %+v should have speedup 1.0", r)
+		}
+	}
+}

@@ -21,10 +21,19 @@ type Entry struct {
 	Items transactions.Itemset
 	Count int
 
-	// lastTID guards against counting the same transaction twice when the
-	// traversal reaches the same leaf along different hash paths.
-	lastTID int
+	// id is the entry's insertion rank, the index into per-worker count
+	// buffers in the concurrent counting mode.
+	id int
+
+	// seen guards against counting the same transaction twice when the
+	// traversal reaches the same leaf along different hash paths. It stores
+	// tid+1 so that the zero value means "no transaction seen yet" — storing
+	// the tid directly would make a zero-valued Entry silently skip tid 0.
+	seen int
 }
+
+// ID returns the entry's insertion rank, in [0, Tree.Len()).
+func (e *Entry) ID() int { return e.id }
 
 // Tree is a hash tree over candidate itemsets of a single length k.
 type Tree struct {
@@ -33,6 +42,7 @@ type Tree struct {
 	maxLeaf int
 	root    *node
 	size    int
+	byID    []*Entry // entries in insertion order, indexed by Entry.id
 }
 
 type node struct {
@@ -79,8 +89,9 @@ func (t *Tree) Insert(items transactions.Itemset) (*Entry, error) {
 	if len(items) != t.k {
 		return nil, ErrWrongLength
 	}
-	e := &Entry{Items: items, lastTID: -1}
+	e := &Entry{Items: items, id: t.size}
 	t.insert(t.root, e, 0)
+	t.byID = append(t.byID, e)
 	t.size++
 	return e, nil
 }
@@ -132,9 +143,9 @@ func (t *Tree) CountTransaction(tx transactions.Itemset, tid int) {
 func (t *Tree) count(n *node, tx transactions.Itemset, start, depth, tid int) {
 	if n.children == nil {
 		for _, e := range n.entries {
-			if e.lastTID != tid && tx.ContainsAll(e.Items) {
+			if e.seen != tid+1 && tx.ContainsAll(e.Items) {
 				e.Count++
-				e.lastTID = tid
+				e.seen = tid + 1
 			}
 		}
 		return
@@ -147,6 +158,64 @@ func (t *Tree) count(n *node, tx transactions.Itemset, start, depth, tid int) {
 		}
 	}
 }
+
+// CountBuffer holds one worker's private support counters for the
+// concurrent counting mode: counts and duplicate-visit guards indexed by
+// entry id. Workers traverse the tree read-only and write only into their
+// own buffer, so any number of them may count disjoint transaction shards
+// concurrently; the buffers are merged serially after the scan
+// (count-distribution). All candidate insertions must happen before the
+// first concurrent count.
+type CountBuffer struct {
+	Counts []int
+	seen   []int // tid+1 of the last transaction counted per entry; 0 = none
+}
+
+// NewCountBuffer returns a zeroed buffer sized for the tree's entries.
+func (t *Tree) NewCountBuffer() *CountBuffer {
+	return &CountBuffer{Counts: make([]int, t.size), seen: make([]int, t.size)}
+}
+
+// CountTransactionInto is CountTransaction for the concurrent mode: counts
+// and duplicate guards go into buf instead of the shared entries. The tree
+// itself is only read, so concurrent calls with distinct buffers are
+// race-free.
+func (t *Tree) CountTransactionInto(tx transactions.Itemset, tid int, buf *CountBuffer) {
+	if len(tx) < t.k {
+		return
+	}
+	t.countInto(t.root, tx, 0, 0, tid, buf)
+}
+
+func (t *Tree) countInto(n *node, tx transactions.Itemset, start, depth, tid int, buf *CountBuffer) {
+	if n.children == nil {
+		for _, e := range n.entries {
+			if buf.seen[e.id] != tid+1 && tx.ContainsAll(e.Items) {
+				buf.Counts[e.id]++
+				buf.seen[e.id] = tid + 1
+			}
+		}
+		return
+	}
+	for i := start; i <= len(tx)-(t.k-depth); i++ {
+		child := n.children[tx[i]%t.fanout]
+		if child != nil {
+			t.countInto(child, tx, i+1, depth+1, tid, buf)
+		}
+	}
+}
+
+// Merge folds a worker buffer's counts into the shared entry counts. Call
+// it from a single goroutine after all concurrent counting has finished.
+func (t *Tree) Merge(buf *CountBuffer) {
+	for id, c := range buf.Counts {
+		t.byID[id].Count += c
+	}
+}
+
+// EntriesByID returns the stored entries in insertion order (deterministic,
+// unlike Entries). The slice is shared with the tree; do not modify it.
+func (t *Tree) EntriesByID() []*Entry { return t.byID }
 
 // Entries appends all stored entries to dst and returns it; iteration
 // order is unspecified.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -245,5 +246,115 @@ func TestEntriesSortable(t *testing.T) {
 	sort.Slice(es, func(i, j int) bool { return es[i].Items.Compare(es[j].Items) < 0 })
 	if es[0].Items[0] != 1 || es[2].Items[0] != 5 {
 		t.Errorf("sorted entries = %v", es)
+	}
+}
+
+// Regression: the duplicate-count guard must not confuse its zero value
+// with transaction id 0 — tid 0 has to be counted on the very first leaf
+// visit, including through leaves reachable along several hash paths.
+func TestTransactionZeroCounted(t *testing.T) {
+	tr, err := NewWithParams(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items 0 and 2 collide under fanout 2, so the leaf holding {0,2} is
+	// reachable twice from the root for a transaction containing both.
+	e, _ := tr.Insert(transactions.NewItemset(0, 2))
+	if _, err := tr.Insert(transactions.NewItemset(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	tr.CountTransaction(transactions.NewItemset(0, 2, 4), 0)
+	if e.Count != 1 {
+		t.Fatalf("tid 0: {0,2} count = %d, want 1", e.Count)
+	}
+	// The guard must still admit the next transaction.
+	tr.CountTransaction(transactions.NewItemset(0, 2), 1)
+	if e.Count != 2 {
+		t.Fatalf("tid 1: {0,2} count = %d, want 2", e.Count)
+	}
+}
+
+// TestConcurrentCountMatchesSerial shards the transactions across workers
+// counting into private buffers and checks the merged counts equal the
+// serial scan, under the race detector.
+func TestConcurrentCountMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, workers := range []int{1, 2, 4, 8} {
+		serial, _ := NewWithParams(2, 3, 2)
+		parallel, _ := NewWithParams(2, 3, 2)
+		var cands []transactions.Itemset
+		seen := map[string]bool{}
+		for i := 0; i < 25; i++ {
+			s := transactions.NewItemset(rng.Intn(10), rng.Intn(10))
+			if len(s) != 2 || seen[s.Key()] {
+				continue
+			}
+			seen[s.Key()] = true
+			cands = append(cands, s)
+			if _, err := serial.Insert(s); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := parallel.Insert(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var txs []transactions.Itemset
+		for i := 0; i < 101; i++ {
+			items := make([]int, 1+rng.Intn(7))
+			for j := range items {
+				items[j] = rng.Intn(10)
+			}
+			txs = append(txs, transactions.NewItemset(items...))
+		}
+		for tid, tx := range txs {
+			serial.CountTransaction(tx, tid)
+		}
+
+		// Count-distribution: disjoint contiguous shards, private buffers.
+		bufs := make([]*CountBuffer, workers)
+		var wg sync.WaitGroup
+		per := (len(txs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			start := w * per
+			end := start + per
+			if end > len(txs) {
+				end = len(txs)
+			}
+			if start >= end {
+				continue
+			}
+			bufs[w] = parallel.NewCountBuffer()
+			wg.Add(1)
+			go func(w, start, end int) {
+				defer wg.Done()
+				for tid := start; tid < end; tid++ {
+					parallel.CountTransactionInto(txs[tid], tid, bufs[w])
+				}
+			}(w, start, end)
+		}
+		wg.Wait()
+		for _, buf := range bufs {
+			if buf != nil {
+				parallel.Merge(buf)
+			}
+		}
+
+		wantByKey := map[string]int{}
+		for _, e := range serial.Entries(nil) {
+			wantByKey[e.Items.Key()] = e.Count
+		}
+		ids := map[int]bool{}
+		for _, e := range parallel.EntriesByID() {
+			if e.Count != wantByKey[e.Items.Key()] {
+				t.Fatalf("workers=%d: %v count = %d, want %d", workers, e.Items, e.Count, wantByKey[e.Items.Key()])
+			}
+			if ids[e.ID()] {
+				t.Fatalf("duplicate entry id %d", e.ID())
+			}
+			ids[e.ID()] = true
+		}
+		if len(parallel.EntriesByID()) != len(cands) {
+			t.Fatalf("EntriesByID returned %d entries, want %d", len(parallel.EntriesByID()), len(cands))
+		}
 	}
 }

@@ -1,0 +1,133 @@
+package transactions
+
+import "math/bits"
+
+// Bitset is a fixed-length bit vector over transaction ids — the dense
+// alternative to a sorted tid-list for the vertical layout. Support is a
+// popcount over the words and candidate tid-sets are in-place word-wise
+// ANDs, so intersection cost is NumTx/64 regardless of how many
+// transactions contain the itemset. That beats tid-list merging once the
+// lists are dense; Eclat picks between the two layouts by density.
+type Bitset struct {
+	words []uint64
+	n     int // number of addressable bits
+}
+
+// NewBitset returns an all-zero bitset addressing bits [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// BitsetFromTIDs builds a bitset over [0, n) with the given tids set.
+// Out-of-range tids are ignored.
+func BitsetFromTIDs(tids []int, n int) *Bitset {
+	b := NewBitset(n)
+	for _, tid := range tids {
+		b.Set(tid)
+	}
+	return b
+}
+
+// Len returns the number of addressable bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Set sets bit i; out-of-range ids are ignored.
+func (b *Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is set.
+func (b *Bitset) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// OnesCount returns the number of set bits — the support when bits are
+// transaction ids.
+func (b *Bitset) OnesCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And intersects b with o in place and returns b's new popcount. The two
+// bitsets must have the same length.
+func (b *Bitset) And(o *Bitset) int {
+	c := 0
+	for i, w := range o.words {
+		b.words[i] &= w
+		c += bits.OnesCount64(b.words[i])
+	}
+	return c
+}
+
+// AndCount returns the popcount of the intersection of a and b without
+// materialising it — the support test that decides whether a candidate is
+// worth allocating at all.
+func AndCount(a, b *Bitset) int {
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
+}
+
+// AndBitset returns a new bitset holding the intersection of a and b.
+func AndBitset(a, b *Bitset) *Bitset {
+	out := &Bitset{words: make([]uint64, len(a.words)), n: a.n}
+	for i, w := range a.words {
+		out.words[i] = w & b.words[i]
+	}
+	return out
+}
+
+// Clone returns an independent copy of the bitset.
+func (b *Bitset) Clone() *Bitset {
+	return &Bitset{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// AppendTIDs appends the ids of all set bits to dst in ascending order and
+// returns it — the bridge back to the tid-list layout.
+func (b *Bitset) AppendTIDs(dst []int) []int {
+	for wi, w := range b.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// VerticalBits is the bitset form of the vertical layout: one bitset of
+// length NumTx per item.
+type VerticalBits struct {
+	Bits  map[int]*Bitset
+	NumTx int
+}
+
+// ToVerticalBitset converts the database to the bitset vertical layout.
+func (db *DB) ToVerticalBitset() *VerticalBits {
+	v := &VerticalBits{Bits: make(map[int]*Bitset), NumTx: len(db.Transactions)}
+	for tid, t := range db.Transactions {
+		for _, item := range t {
+			b := v.Bits[item]
+			if b == nil {
+				b = NewBitset(v.NumTx)
+				v.Bits[item] = b
+			}
+			b.Set(tid)
+		}
+	}
+	return v
+}

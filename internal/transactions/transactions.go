@@ -243,6 +243,46 @@ func (db *DB) Partition(k int) []*DB {
 	return out
 }
 
+// Shard is a zero-copy horizontal view of a contiguous run of the
+// database's transactions, for count-distribution parallelism: each worker
+// scans one shard into private counters which are merged after the pass.
+// Base is the global transaction id of Transactions[0], so workers can
+// reconstruct global tids (Base+i) for structures that deduplicate by tid.
+type Shard struct {
+	Transactions []Itemset
+	Base         int
+}
+
+// Shards splits the database into at most n contiguous zero-copy views of
+// near-equal size. Fewer than n shards are returned when there are fewer
+// than n transactions; n < 1 is treated as 1. The views alias the
+// database's backing slice — callers must not mutate transactions through
+// them.
+func (db *DB) Shards(n int) []Shard {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(db.Transactions) {
+		n = len(db.Transactions)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Shard, 0, n)
+	per := len(db.Transactions) / n
+	rem := len(db.Transactions) % n
+	start := 0
+	for i := 0; i < n; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		out = append(out, Shard{Transactions: db.Transactions[start : start+size], Base: start})
+		start += size
+	}
+	return out
+}
+
 // Vertical is the inverted (tid-list) layout: for each item, the sorted
 // list of transaction ids containing it.
 type Vertical struct {
