@@ -9,6 +9,7 @@
 //	dmbench -list         # list experiment ids and titles
 //	dmbench -workers 4    # count-distribute miner scans across 4 goroutines
 //	dmbench -paralleljson BENCH_parallel.json   # emit the EXP-P1 baseline
+//	dmbench -incrementaljson BENCH_incremental.json   # emit the EXP-P2 baseline
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		listFlag     = flag.Bool("list", false, "list experiments and exit")
 		workersFlag  = flag.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS (same semantics as dmine)")
 		parallelJSON = flag.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
+		incJSON      = flag.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -61,6 +63,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote parallel baseline to %s\n", *parallelJSON)
+		return
+	}
+	if *incJSON != "" {
+		var buf bytes.Buffer
+		if err := experiments.WriteIncrementalBaseline(&buf, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "incremental baseline failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*incJSON, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote incremental baseline to %s\n", *incJSON)
 		return
 	}
 	var selected []experiments.Experiment

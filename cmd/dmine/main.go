@@ -3,6 +3,7 @@
 // Subcommands:
 //
 //	dmine assoc    -in baskets.txt -minsup 0.01 -minconf 0.5 [-algo Apriori]
+//	               [-incremental -updates updates.txt -shardcap 1024 -verify]
 //	dmine seq      -in sequences.txt -minsup 0.02 [-algo GSP]
 //	dmine cluster  -in points.csv -k 5 [-algo kmeans]
 //	dmine classify -in people.csv -class group [-algo tree] [-folds 10]
@@ -106,6 +107,10 @@ func runAssoc(args []string) error {
 	algo := fs.String("algo", "Apriori", "mining algorithm (see core.Miners)")
 	topN := fs.Int("top", 20, "rules to print")
 	workers := fs.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS")
+	incremental := fs.Bool("incremental", false, "mine with the incremental maintenance backend (dirty-shard re-count)")
+	updates := fs.String("updates", "", "incremental: update script ('+ items…' append, '- tid' delete, '=' re-maintain)")
+	shardCap := fs.Int("shardcap", 0, "incremental: transactions per shard (rounded up to a multiple of 64; 0 = 1024)")
+	verify := fs.Bool("verify", false, "incremental: check each maintained result is byte-identical to a from-scratch run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,12 +137,21 @@ func runAssoc(args []string) error {
 			fmt.Fprintf(os.Stderr, "dmine: %s does not support -workers; running serially\n", miner.Name())
 		}
 	}
-	res, err := miner.Mine(db, *minsup)
+	var res *assoc.Result
+	if *incremental {
+		wn := *workers
+		if wn <= 0 {
+			wn = runtime.GOMAXPROCS(0)
+		}
+		res, err = runAssocIncremental(db, miner, *minsup, *updates, *shardCap, *verify, wn)
+	} else {
+		res, err = miner.Mine(db, *minsup)
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d transactions, %d frequent itemsets (max length %d)\n",
-		miner.Name(), db.Len(), res.NumFrequent(), res.MaxLevel())
+		miner.Name(), res.NumTx, res.NumFrequent(), res.MaxLevel())
 	for _, p := range res.Passes {
 		fmt.Printf("  pass %d: %d candidates, %d frequent\n", p.K, p.Candidates, p.Frequent)
 	}
@@ -153,6 +167,122 @@ func runAssoc(args []string) error {
 		fmt.Println(" ", r)
 	}
 	return nil
+}
+
+// runAssocIncremental mines db through the incremental maintenance
+// backend: the transactions are bulk-loaded into a sharded store, an
+// initial full mine builds the per-shard count caches, and the optional
+// update script is replayed with a Maintain step at every '=' line (and a
+// final one), re-counting only dirty shards unless the negative border is
+// crossed. With verify set, every maintained result is checked
+// byte-identical to a from-scratch run of the same miner on a snapshot.
+func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64, updatesPath string, shardCap int, verify bool, workers int) (*assoc.Result, error) {
+	store := transactions.NewShardedDBFrom(db, shardCap)
+	inc := &assoc.Incremental{Base: miner, Workers: workers}
+	res, stats, err := inc.Attach(store, minsup)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("incremental: attached %d transactions in %d shards (cap %d)\n",
+		store.Len(), store.NumShards(), store.ShardCap())
+
+	verifyNow := func(label string) error {
+		if !verify {
+			return nil
+		}
+		want, err := miner.Mine(store.Snapshot(), minsup)
+		if err != nil {
+			return err
+		}
+		if string(res.Canonical()) != string(want.Canonical()) {
+			return fmt.Errorf("%s: maintained result differs from a from-scratch run", label)
+		}
+		fmt.Printf("  %s: verified byte-identical to a from-scratch run\n", label)
+		return nil
+	}
+	if err := verifyNow("attach"); err != nil {
+		return nil, err
+	}
+
+	step := 0
+	maintain := func() error {
+		step++
+		res, stats, err = inc.Maintain()
+		if err != nil {
+			return err
+		}
+		if stats.FullRun {
+			fmt.Printf("  step %d: %d transactions, %d frequent; full re-mine (%s)\n",
+				step, store.Len(), res.NumFrequent(), stats.Reason)
+		} else {
+			fmt.Printf("  step %d: %d transactions, %d frequent; re-counted %d/%d shards (%d transactions)\n",
+				step, store.Len(), res.NumFrequent(), stats.DirtyShards, stats.NumShards, stats.RecountedTx)
+		}
+		return verifyNow(fmt.Sprintf("step %d", step))
+	}
+
+	if updatesPath == "" {
+		return res, nil
+	}
+	uf, err := os.Open(updatesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer uf.Close()
+	sc := bufio.NewScanner(uf)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo, pending := 0, false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "+":
+			items := make([]int, 0, len(fields)-1)
+			for _, fstr := range fields[1:] {
+				v, err := strconv.Atoi(fstr)
+				if err != nil {
+					return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
+				}
+				items = append(items, v)
+			}
+			if err := store.Append(items...); err != nil {
+				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
+			}
+			pending = true
+		case "-":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("updates line %d: want '- tid'", lineNo)
+			}
+			tid, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
+			}
+			if _, err := store.DeleteAt(tid); err != nil {
+				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
+			}
+			pending = true
+		case "=":
+			if err := maintain(); err != nil {
+				return nil, err
+			}
+			pending = false
+		default:
+			return nil, fmt.Errorf("updates line %d: unknown op %q (want +, - or =)", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pending {
+		if err := maintain(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 func runSeq(args []string) error {

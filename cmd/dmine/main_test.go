@@ -77,6 +77,40 @@ func TestRunAssocEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunAssocIncrementalEndToEnd(t *testing.T) {
+	var baskets string
+	for i := 0; i < 40; i++ {
+		baskets += "1 2 3\n1 2\n2 3\n"
+	}
+	path := writeFile(t, "baskets.txt", baskets)
+	// No updates: behaves like a plain mine through the sharded backend.
+	if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-incremental", "-verify"}); err != nil {
+		t.Fatalf("incremental without updates: %v", err)
+	}
+	// Appends, deletes and explicit maintain checkpoints, verified against
+	// from-scratch runs at every step.
+	updates := writeFile(t, "updates.txt",
+		"# append then re-maintain\n+ 1 2 3\n+ 1 3\n=\n- 0\n- 5\n=\n+ 2 3\n")
+	if err := runAssoc([]string{
+		"-in", path, "-minsup", "0.3", "-incremental",
+		"-updates", updates, "-shardcap", "64", "-verify",
+	}); err != nil {
+		t.Fatalf("incremental with updates: %v", err)
+	}
+	// Bad update scripts fail loudly.
+	for _, bad := range []string{"? 1\n", "- notanint\n", "- 1 2\n", "+ x\n"} {
+		badPath := writeFile(t, "bad.txt", bad)
+		if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-incremental", "-updates", badPath}); err == nil {
+			t.Errorf("update script %q should error", bad)
+		}
+	}
+	// Deleting a tid out of range fails.
+	oob := writeFile(t, "oob.txt", "- 100000\n")
+	if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-incremental", "-updates", oob}); err == nil {
+		t.Error("out-of-range delete should error")
+	}
+}
+
 func TestRunSeqEndToEnd(t *testing.T) {
 	path := writeFile(t, "seq.txt", "1 ; 2\n1 ; 2 ; 3\n1 ; 2\n")
 	if err := runSeq([]string{"-in", path, "-minsup", "0.5"}); err != nil {

@@ -17,9 +17,16 @@
 // bit-identical to the serial scan, so Apriori, DHP and Partition take a
 // Workers option that changes only wall-clock time. Eclat instead mines
 // the vertical layout and picks between sorted tid-lists and
-// transactions.Bitset (word-wise AND + popcount) by density. Future
-// incremental or distributed backends should reuse the same seams:
-// shard the DB, count into private structures, merge.
+// transactions.Bitset (word-wise AND + popcount) by density.
+//
+// The incremental backend (assoc.Incremental over transactions.ShardedDB)
+// exploits the same seams under updates: shards are version-stamped, the
+// per-shard counting structures are cached, and because integer merges are
+// invertible an append or delete re-counts only the dirty shards —
+// falling back to a full re-mine only when the maintained frequent set's
+// negative border is crossed. Results stay byte-identical to a
+// from-scratch run at every step. A future distributed backend ships the
+// same shards to remote workers and merges their buffers.
 //
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured-vs-published results. The root-level

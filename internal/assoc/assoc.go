@@ -7,11 +7,25 @@
 //   - Partition (Savasere, Omiecinski & Navathe, VLDB'95)
 //   - DHP, direct hashing and pruning (Park, Chen & Yu, SIGMOD'95)
 //
-// plus confidence/lift rule generation (the ap-genrules procedure).
+// plus Eclat's vertical-layout mining, Toivonen's Sampling, confidence/lift
+// rule generation (the ap-genrules procedure), and FUP-style incremental
+// maintenance (Incremental) over an updatable sharded store.
 //
 // All miners produce identical frequent-itemset results on the same input —
 // a property the test suite checks — and differ only in how much work they
-// do, which is what the EXP-A benchmarks measure.
+// do, which is what the EXP-A benchmarks measure. The level-wise miners
+// cost O(passes × |D| × candidate-tests) where the hash tree bounds each
+// transaction's candidate tests; Eclat replaces rescans with tid-set
+// intersections, O(sum of joined list lengths) per candidate.
+//
+// Support counting follows the shard/count/merge contract (parallel.go):
+// the database splits into contiguous shards, every counting structure
+// (flat pass-1 arrays, the triangular pass-2 pair array, hash-tree count
+// buffers) fills per shard, and merging is commutative integer addition —
+// so distributed, parallel and incremental counts are all bit-identical to
+// a serial scan. The incremental maintainer adds one more consequence:
+// integer addition is invertible, so a dirty shard's stale counts can be
+// subtracted back out and only changed shards are ever re-scanned.
 package assoc
 
 import (
@@ -91,6 +105,24 @@ func (r *Result) Support(s transactions.Itemset) (int, bool) {
 	}
 	c, ok := r.supportIdx[s.Key()]
 	return c, ok
+}
+
+// Canonical returns a deterministic byte encoding of the frequent levels
+// (one "items:count" line per itemset, in level then lexicographic order).
+// Two results encode identically iff they found the same itemsets with the
+// same supports, which is how the incremental-maintenance property tests
+// and dmine's -verify mode check byte-identity against a from-scratch run.
+func (r *Result) Canonical() []byte {
+	var out []byte
+	for _, level := range r.Levels {
+		for _, ic := range level {
+			out = append(out, ic.Items.Key()...)
+			out = append(out, ':')
+			out = append(out, fmt.Sprintf("%d", ic.Count)...)
+			out = append(out, '\n')
+		}
+	}
+	return out
 }
 
 // checkInput validates the shared Mine preconditions and returns the

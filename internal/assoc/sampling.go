@@ -70,17 +70,14 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 	}
 
 	// Candidate set: sample-frequent itemsets plus their negative border
-	// (aprioriGen of each level minus the frequent sets themselves).
+	// (the same border computation the FUP-style incremental maintainer
+	// uses to decide when its cached candidate set still covers the answer).
 	candidates := make(map[string]transactions.Itemset)
 	for _, ic := range sampleRes.All() {
 		candidates[ic.Items.Key()] = ic.Items
 	}
-	for _, level := range sampleRes.Levels {
-		for _, border := range aprioriGen(itemsetsOf(level)) {
-			if _, ok := candidates[border.Key()]; !ok {
-				candidates[border.Key()] = border
-			}
-		}
+	for _, border := range negativeBorder(sampleRes.Levels) {
+		candidates[border.Key()] = border
 	}
 	// Also include all single items (the level-1 negative border).
 	for item := 0; item < db.NumItems(); item++ {

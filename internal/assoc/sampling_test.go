@@ -1,0 +1,130 @@
+package assoc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+func level(sets ...transactions.Itemset) []ItemsetCount {
+	out := make([]ItemsetCount, len(sets))
+	for i, s := range sets {
+		out[i] = ItemsetCount{Items: s, Count: 1}
+	}
+	return out
+}
+
+// TestNegativeBorder pins the shared border computation the Sampling
+// verifier and the FUP-style incremental maintainer both build on.
+func TestNegativeBorder(t *testing.T) {
+	one := transactions.NewItemset
+	// L1 = {1},{2},{3}; L2 = {1,2},{1,3}. The only pair join not frequent
+	// is {2,3}; the triple {1,2,3} is pruned because its subset {2,3} is
+	// not frequent — the border is exactly the minimal infrequent sets.
+	levels := [][]ItemsetCount{
+		level(one(1), one(2), one(3)),
+		level(one(1, 2), one(1, 3)),
+	}
+	border := negativeBorder(levels)
+	if len(border) != 1 || !border[0].Equal(one(2, 3)) {
+		t.Fatalf("border = %v, want [{2, 3}]", border)
+	}
+
+	// With every pair frequent, the border moves up to the triple.
+	levels = [][]ItemsetCount{
+		level(one(1), one(2), one(3)),
+		level(one(1, 2), one(1, 3), one(2, 3)),
+	}
+	border = negativeBorder(levels)
+	if len(border) != 1 || !border[0].Equal(one(1, 2, 3)) {
+		t.Fatalf("border = %v, want [{1, 2, 3}]", border)
+	}
+
+	// A frequent triple is not its own border: nothing joins beyond it.
+	levels = append(levels, level(one(1, 2, 3)))
+	if border = negativeBorder(levels); len(border) != 0 {
+		t.Fatalf("border = %v, want empty", border)
+	}
+
+	if border = negativeBorder(nil); len(border) != 0 {
+		t.Fatalf("border of no levels = %v, want empty", border)
+	}
+}
+
+// TestSamplingMatchesApriori checks exactness across seeds: Toivonen's
+// algorithm verifies the sampled candidates and their negative border
+// against the full database and repairs misses, so the final result must
+// equal a from-scratch Apriori run no matter how unlucky the sample was.
+func TestSamplingMatchesApriori(t *testing.T) {
+	cfg := synth.TxI(8, 3, 400, 21)
+	cfg.NumItems = 50
+	cfg.NumPatterns = 25
+	db, err := synth.Baskets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Apriori{}).Mine(db, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		s := &Sampling{SampleFraction: 0.15, LowerFactor: 0.75, Seed: seed}
+		got, err := s.Mine(db, 0.04)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(got.Canonical(), want.Canonical()) {
+			t.Fatalf("seed %d: Sampling diverged from Apriori", seed)
+		}
+	}
+}
+
+// TestSamplingDefaults: out-of-range knobs fall back to the documented
+// defaults rather than breaking the run.
+func TestSamplingDefaults(t *testing.T) {
+	db := transactions.NewDB()
+	for i := 0; i < 50; i++ {
+		if err := db.Add(1, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := (&Apriori{}).Mine(db, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Sampling{
+		{SampleFraction: -1, LowerFactor: -1, Seed: 3}, // both below range
+		{SampleFraction: 2, LowerFactor: 2, Seed: 3},   // both above range
+	} {
+		got, err := s.Mine(db, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Canonical(), want.Canonical()) {
+			t.Fatal("defaulted Sampling diverged from Apriori")
+		}
+	}
+}
+
+// TestSamplingErrors covers the shared input validation.
+func TestSamplingErrors(t *testing.T) {
+	s := &Sampling{}
+	if _, err := s.Mine(transactions.NewDB(), 0.5); err == nil {
+		t.Error("empty database should error")
+	}
+	db := transactions.NewDB()
+	if err := db.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Mine(db, 0); err == nil {
+		t.Error("support 0 should error")
+	}
+	if _, err := s.Mine(db, 1.5); err == nil {
+		t.Error("support > 1 should error")
+	}
+}

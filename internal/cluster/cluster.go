@@ -6,7 +6,12 @@
 // SIGMOD'96).
 //
 // All algorithms operate on [][]float64 row-major point sets and are
-// deterministic given their seed.
+// deterministic given their seed. Costs span the survey's spectrum:
+// k-means is O(iters·n·k·d); PAM is O(iters·k·(n-k)²) which CLARA tames by
+// sampling and CLARANS by randomized neighbour search; hierarchical
+// linkage is O(n²·d) space and worse time; DBSCAN is O(n²) scanning or
+// ~O(n log n) with the grid index; BIRCH clusters in one pass over a
+// bounded-memory CF tree.
 package cluster
 
 import (

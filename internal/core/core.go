@@ -2,7 +2,10 @@
 // techniques" toolbox the tutorial surveys, behind three small interfaces:
 // classifier trainers, clusterers, and pattern miners. The cmd/ tools and
 // the examples program against this package, and the experiment harness
-// uses its registries to sweep every algorithm uniformly.
+// uses its registries to sweep every algorithm uniformly. Stateful
+// backends that do not fit the one-shot Mine interface — the incremental
+// maintainer assoc.Incremental — are plumbed by the CLIs directly, reusing
+// the registries only for their full-run base miner.
 package core
 
 import (

@@ -3,7 +3,9 @@
 // AdaBoost.M1 (Freund & Schapire, 1995), both over the library's decision
 // trees. AdaBoost uses the standard resampling formulation: each round
 // draws a bootstrap sample proportional to the example weights, so the
-// base learner needs no weighted-training support.
+// base learner needs no weighted-training support. Both cost rounds × one
+// base-tree training; bagging's rounds are independent, boosting's are
+// sequential.
 package ensemble
 
 import (

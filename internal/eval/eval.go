@@ -2,7 +2,8 @@
 // classifier experiments: stratified k-fold cross-validation, confusion
 // matrices with the standard derived measures (accuracy, precision,
 // recall, F1), one-vs-rest AUC, and paired significance testing via
-// internal/stats.
+// internal/stats. Cross-validation costs folds × one training plus one
+// O(rows) scoring pass; everything is deterministic given the fold seed.
 package eval
 
 import (

@@ -2,7 +2,11 @@
 // reproduction's experiment index (DESIGN.md): the canonical evaluations of
 // the algorithms the SIGMOD'96 tutorial surveys. Each experiment prints a
 // plain-text table shaped like its source figure; cmd/dmbench is the CLI
-// front end and EXPERIMENTS.md records measured-vs-published shapes.
+// front end and EXPERIMENTS.md records measured-vs-published shapes. The
+// engine-trajectory experiments additionally persist machine-readable
+// baselines: EXP-P1 writes BENCH_parallel.json (count-distribution scaling
+// and Eclat layouts) and EXP-P2 writes BENCH_incremental.json (dirty-shard
+// maintenance vs full re-mining).
 package experiments
 
 import (
@@ -55,6 +59,7 @@ func All() []Experiment {
 		{ID: "Q1", Title: "Quantitative association rules (SIGMOD'96)", Run: RunQ1},
 		{ID: "E1", Title: "Bagging and boosting vs single trees", Run: RunE1},
 		{ID: "P1", Title: "Parallel count-distribution scaling and Eclat layouts", Run: RunP1},
+		{ID: "P2", Title: "Incremental maintenance: dirty-shard re-count vs full re-mine", Run: RunP2},
 	}
 }
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestIncrementalBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteIncrementalBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base IncrementalBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.MinSupport <= 0 || base.ShardCap%64 != 0 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	if len(base.Steps) != 8 {
+		t.Fatalf("steps = %d, want 8", len(base.Steps))
+	}
+	for i, st := range base.Steps {
+		if !st.Verified {
+			t.Errorf("step %d not verified against a from-scratch run", i+1)
+		}
+		if st.MaintainMS <= 0 || st.FullMineMS <= 0 {
+			t.Errorf("step %d has non-positive timing: %+v", i+1, st)
+		}
+		if st.DirtyShards > st.NumShards {
+			t.Errorf("step %d dirty %d > shards %d", i+1, st.DirtyShards, st.NumShards)
+		}
+		// The workload is built to stay within the dirty-fraction envelope
+		// the acceptance target is defined on (unless a border crossing
+		// forced a full re-count).
+		if !st.FullRun && st.DirtyFrac > 0.25 {
+			t.Errorf("step %d dirty fraction %.2f exceeds the 25%% envelope", i+1, st.DirtyFrac)
+		}
+	}
+}

@@ -7,7 +7,16 @@
 // children; leaves store candidate itemsets with their support counters.
 // A leaf splits into an interior node when it exceeds the leaf capacity,
 // unless it is already at depth k (where further splitting cannot separate
-// candidates).
+// candidates). Counting a transaction of t items visits at most C(t, k)
+// root-to-leaf paths but in practice far fewer, since subtrees with no
+// matching candidates are never entered — the structure that keeps a pass
+// over |D| transactions near-linear instead of |D|·|C_k|.
+//
+// The tree participates in the engine's shard/count/merge contract through
+// CountBuffer: after all inserts, the tree is read-only, each worker (or
+// each shard of the incremental backend's cache) counts into a private
+// buffer indexed by entry id, and Merge folds buffers back with plain
+// integer adds — bit-identical to a serial scan in any merge order.
 package hashtree
 
 import (

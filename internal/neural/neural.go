@@ -2,7 +2,8 @@
 // sigmoid units and stochastic backpropagation — the neural-network
 // classifier of the tutorial era (Rumelhart-style backprop, no modern
 // optimisers), operating over dataset.Table with the same mixed-attribute
-// encoding as the kNN classifier.
+// encoding as the kNN classifier. Training costs epochs × rows × weights;
+// prediction is one O(weights) forward pass.
 package neural
 
 import (

@@ -7,7 +7,8 @@
 // paper's maximum-support trick); categorical values map to one item each.
 // The encoded transactions are mined level-wise and itemsets that combine
 // two items of the same attribute (always either nested or disjoint, hence
-// redundant or empty) are filtered out.
+// redundant or empty) are filtered out. Cost is the encoding pass plus one
+// standard level-wise mine over rows × encoded items.
 package quant
 
 import (

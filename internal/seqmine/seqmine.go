@@ -8,6 +8,10 @@
 //     Generalizations and Performance Improvements"), which mines item-level
 //     sequences directly and generates far fewer candidates.
 //
+// Both are level-wise: O(passes) scans over the customer sequences with
+// candidate-containment tests per sequence, so candidate-set size is the
+// cost driver the EXP-S1 comparison measures.
+//
 // A sequence is an ordered list of itemsets (one customer's transaction
 // history). Sequence s is contained in t when every element of s is a
 // subset of a distinct element of t in the same order. Support is counted

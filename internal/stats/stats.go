@@ -2,7 +2,8 @@
 // packages: descriptive statistics, chi-square tests for predictor ranking,
 // and distribution sampling helpers used by the synthetic data generators.
 //
-// Everything here is deterministic given a seed; nothing reads global state.
+// Everything here is deterministic given a seed; nothing reads global
+// state, and every helper is a single pass (or one sort) over its input.
 package stats
 
 import (

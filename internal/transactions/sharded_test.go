@@ -1,0 +1,214 @@
+package transactions
+
+import (
+	"testing"
+)
+
+func TestShardedDBCapNormalisation(t *testing.T) {
+	if got := NewShardedDB(0).ShardCap(); got != DefaultShardCap {
+		t.Fatalf("default cap = %d, want %d", got, DefaultShardCap)
+	}
+	if got := NewShardedDB(100).ShardCap(); got != 128 {
+		t.Fatalf("cap 100 normalised to %d, want 128", got)
+	}
+	if got := NewShardedDB(64).ShardCap(); got != 64 {
+		t.Fatalf("cap 64 normalised to %d, want 64", got)
+	}
+}
+
+func TestShardedDBAppendDelete(t *testing.T) {
+	s := NewShardedDB(64)
+	for i := 0; i < 130; i++ {
+		if err := s.Append(i%7, (i+1)%7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 130 || s.NumShards() != 3 {
+		t.Fatalf("len=%d shards=%d, want 130/3", s.Len(), s.NumShards())
+	}
+	if s.NumItems() != 7 {
+		t.Fatalf("NumItems=%d, want 7", s.NumItems())
+	}
+
+	// Deleting from the middle shard bumps only its version.
+	v0, v1, v2 := s.Version(0), s.Version(1), s.Version(2)
+	tx, err := s.DeleteAt(70) // shard 1, local offset 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx == nil {
+		t.Fatal("DeleteAt returned nil itemset")
+	}
+	if s.Len() != 129 {
+		t.Fatalf("len=%d after delete, want 129", s.Len())
+	}
+	if s.Version(0) != v0 || s.Version(1) != v1+1 || s.Version(2) != v2 {
+		t.Fatalf("versions after middle delete: %d/%d/%d (was %d/%d/%d); only shard 1 should bump",
+			s.Version(0), s.Version(1), s.Version(2), v0, v1, v2)
+	}
+
+	// Appends touch only the last shard.
+	if err := s.Append(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version(0) != v0 || s.Version(1) != v1+1 {
+		t.Fatal("append dirtied a non-last shard")
+	}
+
+	if _, err := s.DeleteAt(-1); err == nil {
+		t.Fatal("DeleteAt(-1) should fail")
+	}
+	if _, err := s.DeleteAt(s.Len()); err == nil {
+		t.Fatal("DeleteAt(len) should fail")
+	}
+	if err := s.Append(-1); err == nil {
+		t.Fatal("Append(-1) should fail")
+	}
+}
+
+func TestShardedDBSnapshotMatchesPlainDB(t *testing.T) {
+	plain := NewDB()
+	s := NewShardedDB(64)
+	add := func(items ...int) {
+		if err := plain.Add(items...); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(items...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		add(i%11, (i*3)%11, (i*7)%11)
+	}
+	// Delete the same global positions from both.
+	for _, tid := range []int{150, 90, 3, 0, 77} {
+		if _, err := s.DeleteAt(tid); err != nil {
+			t.Fatal(err)
+		}
+		plain.Transactions = append(plain.Transactions[:tid:tid], plain.Transactions[tid+1:]...)
+	}
+	snap := s.Snapshot()
+	if snap.Len() != plain.Len() {
+		t.Fatalf("snapshot len=%d, want %d", snap.Len(), plain.Len())
+	}
+	for i := range plain.Transactions {
+		if !snap.Transactions[i].Equal(plain.Transactions[i]) {
+			t.Fatalf("tx %d: snapshot %v != plain %v", i, snap.Transactions[i], plain.Transactions[i])
+		}
+	}
+	if snap.NumItems() != plain.NumItems() {
+		t.Fatalf("snapshot NumItems=%d, want %d", snap.NumItems(), plain.NumItems())
+	}
+
+	// ShardView bases tile the snapshot.
+	seen := 0
+	for i := 0; i < s.NumShards(); i++ {
+		view, _ := s.ShardView(i)
+		if view.Base != seen {
+			t.Fatalf("shard %d base=%d, want %d", i, view.Base, seen)
+		}
+		seen += len(view.Transactions)
+	}
+	if seen != s.Len() {
+		t.Fatalf("shard views cover %d txs, want %d", seen, s.Len())
+	}
+}
+
+func TestShardedDBAbsoluteSupportMatchesDB(t *testing.T) {
+	s := NewShardedDB(64)
+	db := NewDB()
+	for i := 0; i < 97; i++ {
+		_ = s.Append(i % 5)
+		_ = db.Add(i % 5)
+	}
+	for _, rel := range []float64{0.001, 0.01, 0.333, 0.5, 1} {
+		if got, want := s.AbsoluteSupport(rel), db.AbsoluteSupport(rel); got != want {
+			t.Fatalf("AbsoluteSupport(%v) = %d, want %d", rel, got, want)
+		}
+	}
+}
+
+func TestConcatBitsetsAligned(t *testing.T) {
+	a := NewBitset(128)
+	b := NewBitset(64)
+	c := NewBitset(30)
+	for _, i := range []int{0, 63, 64, 127} {
+		a.Set(i)
+	}
+	b.Set(5)
+	c.Set(29)
+	out := ConcatBitsets(a, b, c)
+	if out.Len() != 222 {
+		t.Fatalf("len=%d, want 222", out.Len())
+	}
+	want := []int{0, 63, 64, 127, 128 + 5, 192 + 29}
+	if got := out.OnesCount(); got != len(want) {
+		t.Fatalf("popcount=%d, want %d", got, len(want))
+	}
+	for _, i := range want {
+		if !out.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+}
+
+func TestConcatBitsetsUnaligned(t *testing.T) {
+	// First part ends mid-word: the tail must be shifted, not word-copied.
+	a := NewBitset(10)
+	b := NewBitset(100)
+	a.Set(9)
+	b.Set(0)
+	b.Set(99)
+	out := ConcatBitsets(a, b)
+	if out.Len() != 110 {
+		t.Fatalf("len=%d, want 110", out.Len())
+	}
+	for _, i := range []int{9, 10, 109} {
+		if !out.Has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if out.OnesCount() != 3 {
+		t.Fatalf("popcount=%d, want 3", out.OnesCount())
+	}
+}
+
+func TestShardedDBToVerticalBitset(t *testing.T) {
+	// The word-aligned per-shard concatenation must reproduce the plain
+	// whole-database vertical bitset view — including items that first
+	// appear mid-stream (earlier shards need empty padding), items absent
+	// from later shards, and shards left unaligned by deletes.
+	s := NewShardedDB(64)
+	for i := 0; i < 150; i++ {
+		_ = s.Append(i%5, (i*3)%5)
+	}
+	for i := 0; i < 20; i++ {
+		_ = s.Append(7) // item 7 first appears in the last shard
+	}
+	if _, err := s.DeleteAt(30); err != nil { // shard 0 now unaligned
+		t.Fatal(err)
+	}
+	got := s.ToVerticalBitset()
+	want := s.Snapshot().ToVerticalBitset()
+	if got.NumTx != want.NumTx {
+		t.Fatalf("NumTx = %d, want %d", got.NumTx, want.NumTx)
+	}
+	if len(got.Bits) != len(want.Bits) {
+		t.Fatalf("items = %d, want %d", len(got.Bits), len(want.Bits))
+	}
+	for item, wantBits := range want.Bits {
+		gotBits := got.Bits[item]
+		if gotBits == nil {
+			t.Fatalf("item %d missing", item)
+		}
+		if gotBits.Len() != wantBits.Len() || gotBits.OnesCount() != wantBits.OnesCount() {
+			t.Fatalf("item %d: len/popcount %d/%d != %d/%d",
+				item, gotBits.Len(), gotBits.OnesCount(), wantBits.Len(), wantBits.OnesCount())
+		}
+		for tid := 0; tid < s.Len(); tid++ {
+			if gotBits.Has(tid) != wantBits.Has(tid) {
+				t.Fatalf("item %d tid %d: concat=%v whole=%v", item, tid, gotBits.Has(tid), wantBits.Has(tid))
+			}
+		}
+	}
+}

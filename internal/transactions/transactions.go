@@ -5,6 +5,17 @@
 // Items are dense non-negative integer ids. An Itemset is always kept
 // sorted ascending with no duplicates, which makes subset tests,
 // lexicographic comparison, and the Apriori candidate join O(k).
+//
+// Storage comes in three layouts, each the substrate of one mining mode:
+// DB is the flat horizontal database (one itemset per transaction) whose
+// Shards method hands out the zero-copy contiguous views the
+// count-distribution engine scans in parallel; Vertical/VerticalBits are
+// the inverted tid-list and bitset layouts Eclat intersects; ShardedDB is
+// the updatable store of the incremental backend — fixed-capacity,
+// version-stamped shards where appends fill the tail, deletes compact in
+// place, and a mutation dirties exactly one shard. Shard capacities are
+// multiples of 64 so per-shard bitsets concatenate word-aligned
+// (ConcatBitsets).
 package transactions
 
 import (
@@ -196,7 +207,15 @@ func (db *DB) NumItems() int { return db.numItems }
 // AbsoluteSupport converts a relative support in (0, 1] to the minimum
 // transaction count, rounding up and never below 1.
 func (db *DB) AbsoluteSupport(rel float64) int {
-	n := int(rel*float64(len(db.Transactions)) + 0.999999999)
+	return absoluteSupport(rel, len(db.Transactions))
+}
+
+// absoluteSupport is the one shared rounding rule for relative→absolute
+// support. DB and ShardedDB must agree exactly here: the incremental
+// backend's byte-identity guarantee compares thresholds computed through
+// both paths.
+func absoluteSupport(rel float64, numTx int) int {
+	n := int(rel*float64(numTx) + 0.999999999)
 	if n < 1 {
 		n = 1
 	}

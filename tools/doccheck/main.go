@@ -1,0 +1,163 @@
+// Command doccheck is the CI documentation gate: it fails when a package
+// is missing a package-level doc comment or when an exported top-level
+// identifier (type, function, method, or const/var group) is missing a doc
+// comment. Test files and example files are exempt.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [dir ...]
+//
+// Each dir is walked recursively; without arguments the current directory
+// is walked. Exit status 1 reports violations, one per line, as
+// file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var violations []string
+	for _, root := range roots {
+		v, err := checkTree(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers or packages\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkTree walks root and checks every non-test Go file.
+func checkTree(root string) ([]string, error) {
+	var violations []string
+	packageHasDoc := map[string]bool{}  // dir -> any file carries a package comment
+	packageFirst := map[string]string{} // dir -> representative file for the report
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		if file.Doc != nil {
+			packageHasDoc[dir] = true
+		}
+		if _, ok := packageFirst[dir]; !ok {
+			packageFirst[dir] = path
+		}
+		violations = append(violations, checkFile(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for dir, first := range packageFirst {
+		if !packageHasDoc[dir] {
+			violations = append(violations, fmt.Sprintf("%s:1: package in %s has no package doc comment", first, dir))
+		}
+	}
+	return violations, nil
+}
+
+// checkFile reports exported top-level declarations without doc comments.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				if recvType, exported := receiverName(d.Recv); !exported {
+					continue // methods on unexported types are internal API
+				} else {
+					report(d.Pos(), "exported method %s.%s has no doc comment", recvType, d.Name.Name)
+					continue
+				}
+			}
+			report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+		case *ast.GenDecl:
+			// A doc comment on the const/var/type block covers the block.
+			blockDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !blockDocumented && s.Doc == nil {
+						report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if blockDocumented || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(s.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's type name and whether it is
+// exported.
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, tt.IsExported()
+		default:
+			return "", false
+		}
+	}
+}
