@@ -100,6 +100,7 @@ func benchMiner(b *testing.B, m assoc.Miner) {
 }
 
 func BenchmarkExpA1Apriori(b *testing.B)       { benchMiner(b, &assoc.Apriori{}) }
+func BenchmarkExpA1FPGrowth(b *testing.B)      { benchMiner(b, &assoc.FPGrowth{}) }
 func BenchmarkExpA1AprioriTid(b *testing.B)    { benchMiner(b, &assoc.AprioriTid{}) }
 func BenchmarkExpA1AprioriHybrid(b *testing.B) { benchMiner(b, &assoc.AprioriHybrid{}) }
 func BenchmarkExpA1AIS(b *testing.B)           { benchMiner(b, &assoc.AIS{}) }
@@ -328,6 +329,27 @@ func BenchmarkParallelPartitionW4(b *testing.B) {
 	benchMiner(b, &assoc.Partition{NumPartitions: 4, Workers: 4})
 }
 
+// --- EXP-P3: pattern growth (per-shard FP-trees + parallel projections) ---
+
+// FPGrowth at the benchmark support and at a low support where candidate
+// generation explodes; W4 exercises the per-shard build + per-item fan-out.
+func BenchmarkFPGrowthW1(b *testing.B) { benchMiner(b, &assoc.FPGrowth{Workers: 1}) }
+func BenchmarkFPGrowthW4(b *testing.B) { benchMiner(b, &assoc.FPGrowth{Workers: 4}) }
+
+func benchMinerLowSupport(b *testing.B, m assoc.Miner) {
+	db := baskets(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mine(db, 0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLowSupportApriori(b *testing.B)  { benchMinerLowSupport(b, &assoc.Apriori{}) }
+func BenchmarkLowSupportFPGrowth(b *testing.B) { benchMinerLowSupport(b, &assoc.FPGrowth{}) }
+
 // Eclat vertical-layout ablation: sorted tid-list merging vs bitset
 // word-AND + popcount, on the sparse benchmark fixture and on a dense
 // small-universe one where bitsets shine.
@@ -397,6 +419,89 @@ func BenchmarkIntersectBitset(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		transactions.AndBitset(ba, bbBits)
+	}
+}
+
+// --- ShardedDB hot path: Append / DeleteAt / incremental Maintain ---
+
+// BenchmarkShardedDBAppend measures the per-transaction append cost
+// (normalisation + tail-shard fill + version bump), amortised over shard
+// openings.
+func BenchmarkShardedDBAppend(b *testing.B) {
+	pool := baskets(b).Transactions
+	store := transactions.NewShardedDB(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Append(pool[i%len(pool)]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedDBDeleteAt measures delete + re-append pairs against a
+// steady-state store, so shard compaction cost is visible without the
+// store draining or growing across iterations.
+func BenchmarkShardedDBDeleteAt(b *testing.B) {
+	pool := baskets(b).Transactions
+	store := transactions.NewShardedDB(1024)
+	for _, tx := range pool {
+		if err := store.Append(tx...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := store.DeleteAt((i * 2654435761) % store.Len())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Append(tx...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalMaintain10pct measures Maintain with ~10% of the
+// shards dirty per step: each iteration deletes a clustered handful from
+// one victim shard and re-appends them at the tail (dirtying the victim
+// plus the tail shard out of ~31), then maintains. The re-appended
+// transactions keep the distribution stationary so steps stay on the
+// incremental path rather than border-crossing.
+func BenchmarkIncrementalMaintain10pct(b *testing.B) {
+	pool := baskets(b).Transactions
+	store := transactions.NewShardedDB(128) // D4000 -> ~32 shards
+	for _, tx := range pool {
+		if err := store.Append(tx...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	inc := &assoc.Incremental{}
+	if _, _, err := inc.Attach(store, 0.02); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := (i * 7) % (store.NumShards() - 1)
+		lo := victim * store.ShardCap()
+		for d := 0; d < 8; d++ {
+			tid := lo
+			if tid >= store.Len() {
+				tid = store.Len() - 1
+			}
+			tx, err := store.DeleteAt(tid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Append(tx...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := inc.Maintain(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

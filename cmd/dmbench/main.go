@@ -10,6 +10,7 @@
 //	dmbench -workers 4    # count-distribute miner scans across 4 goroutines
 //	dmbench -paralleljson BENCH_parallel.json   # emit the EXP-P1 baseline
 //	dmbench -incrementaljson BENCH_incremental.json   # emit the EXP-P2 baseline
+//	dmbench -fpgrowthjson BENCH_fpgrowth.json   # emit the EXP-P3 baseline
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		workersFlag  = flag.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS (same semantics as dmine)")
 		parallelJSON = flag.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
 		incJSON      = flag.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
+		fpJSON       = flag.String("fpgrowthjson", "", "write the EXP-P3 pattern-growth baseline as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -76,6 +78,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote incremental baseline to %s\n", *incJSON)
+		return
+	}
+	if *fpJSON != "" {
+		var buf bytes.Buffer
+		if err := experiments.WritePatternBaseline(&buf, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "pattern-growth baseline failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*fpJSON, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote pattern-growth baseline to %s\n", *fpJSON)
 		return
 	}
 	var selected []experiments.Experiment

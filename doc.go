@@ -17,7 +17,12 @@
 // bit-identical to the serial scan, so Apriori, DHP and Partition take a
 // Workers option that changes only wall-clock time. Eclat instead mines
 // the vertical layout and picks between sorted tid-lists and
-// transactions.Bitset (word-wise AND + popcount) by density.
+// transactions.Bitset (word-wise AND + popcount) by density. FPGrowth is
+// the candidate-free engine: per-shard FP-trees (internal/fptree) merge by
+// the same commutative-addition contract into a global tree, and mining
+// fans per-item conditional projections out across workers — the
+// low-support winner (EXP-P3). assoc.Auto probes the pass-1 scan and
+// dispatches each Mine to the expected-fastest of these engines.
 //
 // The incremental backend (assoc.Incremental over transactions.ShardedDB)
 // exploits the same seams under updates: shards are version-stamped, the

@@ -1,8 +1,11 @@
 // Market-basket analysis: the tutorial's motivating retail scenario.
 // A synthetic store's transaction log is mined for frequent itemsets with
-// every algorithm in the suite (verifying they agree), then high-lift
-// cross-sell rules are extracted and the per-pass behaviour of Apriori is
-// shown — the workflow of Agrawal & Srikant's evaluation.
+// every algorithm in the suite (verifying they agree), then the analysis
+// itself runs through assoc.Auto — the dispatch that probes the workload
+// and picks the expected-fastest engine (Apriori, bitset Eclat or
+// FPGrowth) — printing which engine was chosen before extracting
+// high-lift cross-sell rules, the workflow of Agrawal & Srikant's
+// evaluation.
 package main
 
 import (
@@ -64,13 +67,24 @@ func run() error {
 		fmt.Printf("%-16s%10s%12d\n", m.Name(), elapsed.Round(time.Millisecond), res.NumFrequent())
 	}
 
-	// Apriori's per-pass anatomy.
-	res, err := (&assoc.Apriori{}).Mine(db, minSupport)
+	// The analysis itself uses the auto-selected fastest engine: Auto
+	// probes the workload (density, frequent-universe size) and dispatches.
+	auto := &assoc.Auto{}
+	res, err := auto.Mine(db, minSupport)
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nApriori passes (candidates -> frequent):")
-	for _, p := range res.Passes {
+	fmt.Printf("\nauto-selected engine: %s\n", auto.Selected())
+
+	// Candidate-pruning anatomy comes from Apriori specifically — it is
+	// the one engine whose per-pass Candidates column is a real generated
+	// candidate count (pattern growth never materialises candidates).
+	anatomy, err := (&assoc.Apriori{}).Mine(db, minSupport)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Apriori per-pass anatomy (candidates -> frequent):")
+	for _, p := range anatomy.Passes {
 		fmt.Printf("  pass %d: %d -> %d\n", p.K, p.Candidates, p.Frequent)
 	}
 

@@ -7,9 +7,12 @@
 //   - Partition (Savasere, Omiecinski & Navathe, VLDB'95)
 //   - DHP, direct hashing and pruning (Park, Chen & Yu, SIGMOD'95)
 //
-// plus Eclat's vertical-layout mining, Toivonen's Sampling, confidence/lift
-// rule generation (the ap-genrules procedure), and FUP-style incremental
-// maintenance (Incremental) over an updatable sharded store.
+// plus Eclat's vertical-layout mining, Toivonen's Sampling, the
+// candidate-free FP-growth successor (FPGrowth over internal/fptree, with
+// an Auto dispatch that picks the expected-fastest engine per workload),
+// confidence/lift rule generation (the ap-genrules procedure), and
+// FUP-style incremental maintenance (Incremental) over an updatable
+// sharded store.
 //
 // All miners produce identical frequent-itemset results on the same input —
 // a property the test suite checks — and differ only in how much work they

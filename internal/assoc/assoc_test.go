@@ -47,6 +47,8 @@ func allMiners() []Miner {
 		&DHP{},
 		&DHP{NumBuckets: 64},
 		&Eclat{},
+		&FPGrowth{},
+		&Auto{},
 		&Sampling{Seed: 7},
 		&Sampling{SampleFraction: 0.5, LowerFactor: 0.6, Seed: 9},
 	}

@@ -1,0 +1,102 @@
+package assoc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/transactions"
+)
+
+// Auto dispatches each Mine call to the expected-fastest engine for the
+// workload, chosen from a cheap pass-1 scan (every miner repeats that scan
+// anyway, so probing costs one pass):
+//
+//   - genuinely dense frequent items (mean tid-list density >=
+//     AutoDensityCutoff over at least AutoMinDenseItems of them): Eclat in
+//     the bitset layout — word-wise AND + popcount intersections are the
+//     measured winner on dense data (EXP-P1's layout ablation);
+//   - a large frequent-item universe, where level-wise pair candidates
+//     (|L1|^2/2) dwarf the database scan: FPGrowth — pattern growth never
+//     materialises candidates (EXP-P3);
+//   - otherwise: Apriori — for small frequent universes the triangular
+//     pass-2 array and hash tree are cheap and scan-bound.
+//
+// Every engine returns identical results, so the dispatch only moves
+// wall-clock time; the registry equivalence tests cover Auto like any
+// other miner.
+type Auto struct {
+	// Workers is forwarded to whichever engine is selected.
+	Workers int
+
+	selected atomic.Value // string: engine name of the last Select/Mine
+}
+
+// AutoDensityCutoff is the mean frequent-item density above which Auto
+// prefers the bitset Eclat engine. It is deliberately higher than Eclat's
+// own DefaultDensityCutoff: that constant decides bitsets vs tid-lists
+// inside Eclat, this one decides whether the workload is dense enough for
+// vertical intersections to beat the other engine families outright.
+const AutoDensityCutoff = 1.0 / 16
+
+// AutoMinDenseItems is the minimum frequent-item count for the dense arm:
+// below it every engine is scan-bound and tiny databases would otherwise
+// read as "dense" by ratio alone.
+const AutoMinDenseItems = 8
+
+// Name implements Miner.
+func (a *Auto) Name() string { return "Auto" }
+
+// SetWorkers implements WorkerSetter.
+func (a *Auto) SetWorkers(n int) { a.Workers = n }
+
+// Selected returns the engine name the last Select or Mine dispatched to
+// ("" before the first call). It is safe to read after a concurrent Mine.
+func (a *Auto) Selected() string {
+	if s, ok := a.selected.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Select runs the dispatch heuristic and returns the chosen engine without
+// mining. Mine is Select followed by the engine's Mine.
+func (a *Auto) Select(db *transactions.DB, minSupport float64) (Miner, error) {
+	minCount, err := checkInput(db, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	counts := countItems(db, a.Workers)
+	nFreq, totalTids := 0, 0
+	for _, c := range counts {
+		if c >= minCount {
+			nFreq++
+			totalTids += c
+		}
+	}
+	var m Miner
+	name := ""
+	switch {
+	case nFreq == 0:
+		m = &Apriori{Workers: a.Workers}
+	case nFreq >= AutoMinDenseItems && float64(totalTids)/float64(nFreq*db.Len()) >= AutoDensityCutoff:
+		m = &Eclat{Layout: LayoutBitset, Workers: a.Workers}
+		name = "Eclat(bitset)"
+	case nFreq*(nFreq-1)/2 > 4*db.Len():
+		m = &FPGrowth{Workers: a.Workers}
+	default:
+		m = &Apriori{Workers: a.Workers}
+	}
+	if name == "" {
+		name = m.Name()
+	}
+	a.selected.Store(name)
+	return m, nil
+}
+
+// Mine implements Miner by dispatching to the selected engine.
+func (a *Auto) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	m, err := a.Select(db, minSupport)
+	if err != nil {
+		return nil, err
+	}
+	return m.Mine(db, minSupport)
+}

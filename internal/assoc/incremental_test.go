@@ -168,6 +168,9 @@ func TestIncrementalAgreesAcrossBaseMiners(t *testing.T) {
 		&DHP{},
 		&Partition{NumPartitions: 3},
 		&Eclat{Layout: LayoutBitset},
+		&FPGrowth{},
+		&FPGrowth{Workers: 4},
+		&Partition{NumPartitions: 3, LocalMiner: &FPGrowth{}},
 	}
 	var want []byte
 	for _, b := range bases {

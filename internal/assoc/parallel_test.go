@@ -41,6 +41,7 @@ func parallelVariants(workers int) []Miner {
 		&Eclat{Workers: workers},
 		&Eclat{Layout: LayoutTIDList, Workers: workers},
 		&Eclat{Layout: LayoutBitset, Workers: workers},
+		&FPGrowth{Workers: workers},
 	}
 }
 
@@ -66,6 +67,10 @@ func serialCounterpart(m Miner) Miner {
 		if cp.Layout == LayoutAuto {
 			cp.Layout = LayoutTIDList
 		}
+		return &cp
+	case *FPGrowth:
+		cp := *v
+		cp.Workers = 0
 		return &cp
 	}
 	return m

@@ -23,6 +23,13 @@ type Partition struct {
 	// and distributes the phase-2 global counting scan; <= 1 runs serially
 	// with identical results.
 	Workers int
+	// LocalMiner overrides the phase-1 per-partition miner; nil keeps the
+	// paper's vertical tid-list method. Any of the package's miners works
+	// (they find identical local frequent sets); FPGrowth is the
+	// pattern-growth option for low local supports. With Workers > 1 the
+	// same LocalMiner value mines partitions concurrently, so it must be
+	// safe for concurrent Mine calls — every miner in this package is.
+	LocalMiner Miner
 }
 
 // SetWorkers implements WorkerSetter.
@@ -54,7 +61,22 @@ func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, erro
 	// frequent somewhere. Partitions are independent, so with Workers > 1
 	// they are mined concurrently (bounded by a semaphore) and their local
 	// results merged in partition order.
+	mineLocal := func(part *transactions.DB) ([]transactions.Itemset, error) {
+		if p.LocalMiner == nil {
+			return mineVertical(part, part.AbsoluteSupport(minSupport)), nil
+		}
+		res, err := p.LocalMiner.Mine(part, minSupport)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]transactions.Itemset, 0, res.NumFrequent())
+		for _, ic := range res.All() {
+			out = append(out, ic.Items)
+		}
+		return out, nil
+	}
 	local := make([][]transactions.Itemset, len(parts))
+	errs := make([]error, len(parts))
 	if p.Workers > 1 {
 		sem := make(chan struct{}, p.Workers)
 		var wg sync.WaitGroup
@@ -64,13 +86,18 @@ func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, erro
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				local[i] = mineVertical(part, part.AbsoluteSupport(minSupport))
+				local[i], errs[i] = mineLocal(part)
 			}(i, part)
 		}
 		wg.Wait()
 	} else {
 		for i, part := range parts {
-			local[i] = mineVertical(part, part.AbsoluteSupport(minSupport))
+			local[i], errs[i] = mineLocal(part)
+		}
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
 		}
 	}
 	candidateKeys := make(map[string]transactions.Itemset)

@@ -315,7 +315,9 @@ func Miners() []assoc.Miner {
 		&assoc.Partition{NumPartitions: 4},
 		&assoc.DHP{},
 		&assoc.Eclat{},
+		&assoc.FPGrowth{},
 		&assoc.Sampling{},
+		&assoc.Auto{},
 	}
 }
 

@@ -154,7 +154,7 @@ func TestDensityAndBirchAdapters(t *testing.T) {
 
 func TestMinersRegistry(t *testing.T) {
 	ms := Miners()
-	if len(ms) != 9 {
+	if len(ms) != 11 {
 		t.Fatalf("miners = %d", len(ms))
 	}
 	m, err := MinerByName("Apriori")
@@ -163,6 +163,11 @@ func TestMinersRegistry(t *testing.T) {
 	}
 	if m.Name() != "Apriori" {
 		t.Errorf("Name = %s", m.Name())
+	}
+	for _, name := range []string{"FPGrowth", "Auto"} {
+		if _, err := MinerByName(name); err != nil {
+			t.Errorf("MinerByName(%s): %v", name, err)
+		}
 	}
 	if _, err := MinerByName("nope"); !errors.Is(err, ErrUnknownAlgorithm) {
 		t.Errorf("unknown error = %v", err)

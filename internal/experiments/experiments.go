@@ -5,14 +5,18 @@
 // front end and EXPERIMENTS.md records measured-vs-published shapes. The
 // engine-trajectory experiments additionally persist machine-readable
 // baselines: EXP-P1 writes BENCH_parallel.json (count-distribution scaling
-// and Eclat layouts) and EXP-P2 writes BENCH_incremental.json (dirty-shard
-// maintenance vs full re-mining).
+// and Eclat layouts), EXP-P2 writes BENCH_incremental.json (dirty-shard
+// maintenance vs full re-mining), and EXP-P3 writes BENCH_fpgrowth.json
+// (pattern growth vs candidate generation across a support ladder). Every
+// baseline records heap allocations (alloc_bytes, allocs) alongside
+// wall-clock so memory regressions show up in the trajectory too.
 package experiments
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -60,6 +64,7 @@ func All() []Experiment {
 		{ID: "E1", Title: "Bagging and boosting vs single trees", Run: RunE1},
 		{ID: "P1", Title: "Parallel count-distribution scaling and Eclat layouts", Run: RunP1},
 		{ID: "P2", Title: "Incremental maintenance: dirty-shard re-count vs full re-mine", Run: RunP2},
+		{ID: "P3", Title: "Pattern growth (FP-growth) vs candidate generation across supports", Run: RunP3},
 	}
 }
 
@@ -88,6 +93,30 @@ func timeIt(fn func() error) (time.Duration, error) {
 	start := time.Now()
 	err := fn()
 	return time.Since(start), err
+}
+
+// AllocStats records the heap allocation delta of one measured run —
+// the B/op and allocs/op columns of the BENCH_*.json baselines. Memory
+// regressions are as real a perf trajectory as wall-clock, so every
+// emitter records both.
+type AllocStats struct {
+	// Bytes is the total heap bytes allocated during the run.
+	Bytes uint64 `json:"alloc_bytes"`
+	// Allocs is the number of heap allocations during the run.
+	Allocs uint64 `json:"allocs"`
+}
+
+// timeItAlloc measures fn's wall-clock duration and heap allocation delta
+// (via runtime.MemStats, so allocations on every goroutine fn spawns are
+// included).
+func timeItAlloc(fn func() error) (time.Duration, AllocStats, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := fn()
+	d := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return d, AllocStats{Bytes: m1.TotalAlloc - m0.TotalAlloc, Allocs: m1.Mallocs - m0.Mallocs}, err
 }
 
 // ms renders a duration in milliseconds with sensible precision.

@@ -63,6 +63,10 @@ type IncrementalStep struct {
 	FullMineMS  float64 `json:"full_mine_ms"`
 	Speedup     float64 `json:"speedup"` // full re-mine time / maintain time
 	Verified    bool    `json:"verified"`
+	// MaintainAlloc / FullMineAlloc record each path's heap allocations:
+	// the memory face of the dirty-shard win.
+	MaintainAlloc AllocStats `json:"maintain_alloc"`
+	FullMineAlloc AllocStats `json:"full_mine_alloc"`
 }
 
 // IncrementalBaseline is the machine-readable output of EXP-P2, persisted
@@ -75,6 +79,7 @@ type IncrementalBaseline struct {
 	GOMAXPROCS  int               `json:"gomaxprocs"`
 	NumCPU      int               `json:"numcpu"`
 	AttachMS    float64           `json:"attach_ms"`
+	AttachAlloc AllocStats        `json:"attach_alloc"`
 	Steps       []IncrementalStep `json:"steps"`
 	IncTotalMS  float64           `json:"inc_total_ms"`
 	FullTotalMS float64           `json:"full_total_ms"`
@@ -105,7 +110,7 @@ func MeasureIncrementalBaseline(s Scale) (*IncrementalBaseline, error) {
 	inc := &assoc.Incremental{Workers: DefaultWorkers}
 	scratch := &assoc.Apriori{Workers: DefaultWorkers}
 
-	attach, err := timeIt(func() error {
+	attach, attachAlloc, err := timeItAlloc(func() error {
 		_, _, e := inc.Attach(store, p2MinSup)
 		return e
 	})
@@ -113,6 +118,7 @@ func MeasureIncrementalBaseline(s Scale) (*IncrementalBaseline, error) {
 		return nil, err
 	}
 	base.AttachMS = float64(attach.Microseconds()) / 1000.0
+	base.AttachAlloc = attachAlloc
 
 	rng := rand.New(rand.NewSource(7))
 	steps := 8
@@ -143,7 +149,7 @@ func MeasureIncrementalBaseline(s Scale) (*IncrementalBaseline, error) {
 
 		var stats assoc.MaintainStats
 		var res *assoc.Result
-		dInc, err := timeIt(func() error {
+		dInc, incAlloc, err := timeItAlloc(func() error {
 			var e error
 			res, stats, e = inc.Maintain()
 			return e
@@ -152,7 +158,7 @@ func MeasureIncrementalBaseline(s Scale) (*IncrementalBaseline, error) {
 			return nil, err
 		}
 		var want *assoc.Result
-		dFull, err := timeIt(func() error {
+		dFull, fullAlloc, err := timeItAlloc(func() error {
 			var e error
 			want, e = scratch.Mine(store.Snapshot(), p2MinSup)
 			return e
@@ -171,16 +177,18 @@ func MeasureIncrementalBaseline(s Scale) (*IncrementalBaseline, error) {
 			speedup = fullMS / incMS
 		}
 		base.Steps = append(base.Steps, IncrementalStep{
-			Appended:    appended,
-			Deleted:     deleted,
-			DirtyShards: stats.DirtyShards,
-			NumShards:   stats.NumShards,
-			DirtyFrac:   float64(stats.DirtyShards) / float64(stats.NumShards),
-			FullRun:     stats.FullRun,
-			MaintainMS:  incMS,
-			FullMineMS:  fullMS,
-			Speedup:     speedup,
-			Verified:    verified,
+			Appended:      appended,
+			Deleted:       deleted,
+			DirtyShards:   stats.DirtyShards,
+			NumShards:     stats.NumShards,
+			DirtyFrac:     float64(stats.DirtyShards) / float64(stats.NumShards),
+			FullRun:       stats.FullRun,
+			MaintainMS:    incMS,
+			FullMineMS:    fullMS,
+			Speedup:       speedup,
+			Verified:      verified,
+			MaintainAlloc: incAlloc,
+			FullMineAlloc: fullAlloc,
 		})
 		base.IncTotalMS += incMS
 		base.FullTotalMS += fullMS

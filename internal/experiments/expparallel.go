@@ -54,23 +54,31 @@ func p1DenseFixture(s Scale) (*transactions.DB, string, error) {
 
 const p1MinSup = 0.0075
 
-// bestOf mines three times and returns the fastest wall-clock duration —
-// the usual noise guard for coarse single-shot timings.
-func bestOf(m assoc.Miner, db *transactions.DB, minSup float64) (time.Duration, error) {
+// bestOf mines three times and returns the fastest run's wall-clock
+// duration, allocation stats and Result — the usual noise guard for
+// coarse single-shot timings; returning the Result lets callers
+// cross-check outputs without paying a fourth mine.
+func bestOf(m assoc.Miner, db *transactions.DB, minSup float64) (*assoc.Result, time.Duration, AllocStats, error) {
 	best := time.Duration(0)
+	var bestAlloc AllocStats
+	var bestRes *assoc.Result
 	for i := 0; i < 3; i++ {
-		d, err := timeIt(func() error {
-			_, e := m.Mine(db, minSup)
+		var res *assoc.Result
+		d, alloc, err := timeItAlloc(func() error {
+			var e error
+			res, e = m.Mine(db, minSup)
 			return e
 		})
 		if err != nil {
-			return 0, err
+			return nil, 0, AllocStats{}, err
 		}
 		if best == 0 || d < best {
 			best = d
+			bestAlloc = alloc
+			bestRes = res
 		}
 	}
-	return best, nil
+	return bestRes, best, bestAlloc, nil
 }
 
 // p1Lineup returns the count-distributed miners the scaling sweep covers,
@@ -91,6 +99,7 @@ type ParallelRun struct {
 	Workers int     `json:"workers"`
 	Millis  float64 `json:"ms"`
 	Speedup float64 `json:"speedup"` // serial time / this time, same miner
+	AllocStats
 }
 
 // EclatLayoutRun is one timed Eclat layout configuration.
@@ -99,6 +108,7 @@ type EclatLayoutRun struct {
 	Layout  string  `json:"layout"`
 	Millis  float64 `json:"ms"`
 	Speedup float64 `json:"speedup"` // tid-list time / this time, same fixture
+	AllocStats
 }
 
 // ParallelBaseline is the machine-readable output of EXP-P1, persisted as
@@ -130,7 +140,7 @@ func MeasureParallelBaseline(s Scale) (*ParallelBaseline, error) {
 	serialMS := map[string]float64{}
 	for _, workers := range p1WorkerCounts {
 		for _, m := range p1Lineup(workers) {
-			d, err := bestOf(m, db, p1MinSup)
+			_, d, alloc, err := bestOf(m, db, p1MinSup)
 			if err != nil {
 				return nil, err
 			}
@@ -144,6 +154,7 @@ func MeasureParallelBaseline(s Scale) (*ParallelBaseline, error) {
 			}
 			base.Runs = append(base.Runs, ParallelRun{
 				Miner: m.Name(), Workers: workers, Millis: msVal, Speedup: speedup,
+				AllocStats: alloc,
 			})
 		}
 	}
@@ -161,7 +172,7 @@ func MeasureParallelBaseline(s Scale) (*ParallelBaseline, error) {
 			name string
 			l    assoc.TidLayout
 		}{{"tidlist", assoc.LayoutTIDList}, {"bitset", assoc.LayoutBitset}} {
-			d, err := bestOf(&assoc.Eclat{Layout: layout.l}, fx.db, p1MinSup)
+			_, d, alloc, err := bestOf(&assoc.Eclat{Layout: layout.l}, fx.db, p1MinSup)
 			if err != nil {
 				return nil, err
 			}
@@ -175,6 +186,7 @@ func MeasureParallelBaseline(s Scale) (*ParallelBaseline, error) {
 			}
 			base.EclatLayouts = append(base.EclatLayouts, EclatLayoutRun{
 				Fixture: fx.name, Layout: layout.name, Millis: msVal, Speedup: speedup,
+				AllocStats: alloc,
 			})
 		}
 	}
@@ -204,13 +216,15 @@ func RunP1(w io.Writer, s Scale) error {
 		return err
 	}
 	fmt.Fprintf(w, "\n%s at minsup %.4f (GOMAXPROCS=%d)\n", base.Fixture, base.MinSupport, base.GOMAXPROCS)
-	fmt.Fprintf(w, "%-16s%10s%12s%10s\n", "miner", "workers", "ms", "speedup")
+	fmt.Fprintf(w, "%-16s%10s%12s%10s%12s%12s\n", "miner", "workers", "ms", "speedup", "alloc MB", "allocs")
 	for _, r := range base.Runs {
-		fmt.Fprintf(w, "%-16s%10d%12.1f%10.2f\n", r.Miner, r.Workers, r.Millis, r.Speedup)
+		fmt.Fprintf(w, "%-16s%10d%12.1f%10.2f%12.1f%12d\n",
+			r.Miner, r.Workers, r.Millis, r.Speedup, float64(r.Bytes)/1e6, r.Allocs)
 	}
-	fmt.Fprintf(w, "\n%-20s%-10s%12s%10s\n", "fixture", "layout", "ms", "speedup")
+	fmt.Fprintf(w, "\n%-20s%-10s%12s%10s%12s%12s\n", "fixture", "layout", "ms", "speedup", "alloc MB", "allocs")
 	for _, r := range base.EclatLayouts {
-		fmt.Fprintf(w, "%-20s%-10s%12.1f%10.2f\n", r.Fixture, r.Layout, r.Millis, r.Speedup)
+		fmt.Fprintf(w, "%-20s%-10s%12.1f%10.2f%12.1f%12d\n",
+			r.Fixture, r.Layout, r.Millis, r.Speedup, float64(r.Bytes)/1e6, r.Allocs)
 	}
 	if base.Note != "" {
 		fmt.Fprintf(w, "\nnote: %s\n", base.Note)

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/assoc"
+)
+
+// p3SupportLevels is the EXP-P3 support ladder. It runs deliberately lower
+// than EXP-P1's fixed support: the pattern-growth argument is about the
+// low-support regime, where level-wise candidate sets explode while the
+// FP-tree only deepens a little. The quick scale doubles the relative
+// supports so the absolute count floor stays meaningful on the smaller
+// fixture (D1000 at 0.001 would mean "appears once" — a combinatorial
+// blowup that measures nothing).
+func p3SupportLevels(s Scale) []float64 {
+	if s == Full {
+		return []float64{0.01, 0.005, 0.0033, 0.002, 0.001}
+	}
+	return []float64{0.02, 0.01, 0.0066, 0.004, 0.002}
+}
+
+// p3Lineup returns the engines the pattern-growth sweep compares: the
+// level-wise reference, the vertical bitset layout, and pattern growth.
+func p3Lineup() []assoc.Miner {
+	return []assoc.Miner{
+		withWorkers(&assoc.Apriori{}),
+		withWorkers(&assoc.Eclat{Layout: assoc.LayoutBitset}),
+		withWorkers(&assoc.FPGrowth{}),
+	}
+}
+
+// p3Name labels a lineup miner in the baseline (Eclat carries its layout).
+func p3Name(m assoc.Miner) string {
+	if e, ok := m.(*assoc.Eclat); ok && e.Layout == assoc.LayoutBitset {
+		return "Eclat(bitset)"
+	}
+	return m.Name()
+}
+
+// PatternRun is one timed (miner, support) configuration of EXP-P3.
+type PatternRun struct {
+	Miner    string  `json:"miner"`
+	MinSup   float64 `json:"minsup"`
+	Frequent int     `json:"frequent"` // itemsets found (identical across miners)
+	Millis   float64 `json:"ms"`
+	Speedup  float64 `json:"speedup"` // Apriori time / this time, same support
+	AllocStats
+}
+
+// PatternBaseline is the machine-readable output of EXP-P3, persisted as
+// BENCH_fpgrowth.json: the candidate-generation vs pattern-growth
+// trajectory across a support ladder on the T10.I4 fixture, with
+// allocations recorded alongside wall-clock.
+type PatternBaseline struct {
+	Fixture    string       `json:"fixture"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Runs       []PatternRun `json:"runs"`
+	// LowestSupportSpeedup is FPGrowth's speedup over Apriori at the
+	// lowest support of the ladder — the acceptance headline.
+	LowestSupportSpeedup float64 `json:"lowest_support_speedup"`
+	Note                 string  `json:"note,omitempty"`
+}
+
+// MeasurePatternBaseline runs the EXP-P3 sweep: every lineup engine at
+// every support level, best-of-three wall clock with the fastest run's
+// allocations, plus a cross-check that the engines found the same number
+// of itemsets.
+func MeasurePatternBaseline(s Scale) (*PatternBaseline, error) {
+	db, fixture, err := p1Fixture(s)
+	if err != nil {
+		return nil, err
+	}
+	base := &PatternBaseline{
+		Fixture:    fixture,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	levels := p3SupportLevels(s)
+	for _, minSup := range levels {
+		aprioriMS := 0.0
+		frequent := -1
+		for _, m := range p3Lineup() {
+			res, d, alloc, err := bestOf(m, db, minSup)
+			if err != nil {
+				return nil, err
+			}
+			if frequent == -1 {
+				frequent = res.NumFrequent()
+			} else if res.NumFrequent() != frequent {
+				return nil, fmt.Errorf("EXP-P3: %s found %d itemsets at %v, want %d",
+					p3Name(m), res.NumFrequent(), minSup, frequent)
+			}
+			msVal := float64(d.Microseconds()) / 1000.0
+			if p3Name(m) == "Apriori" {
+				aprioriMS = msVal
+			}
+			speedup := 0.0
+			if aprioriMS > 0 && msVal > 0 {
+				speedup = aprioriMS / msVal
+			}
+			base.Runs = append(base.Runs, PatternRun{
+				Miner: p3Name(m), MinSup: minSup, Frequent: frequent,
+				Millis: msVal, Speedup: speedup, AllocStats: alloc,
+			})
+			if p3Name(m) == "FPGrowth" && minSup == levels[len(levels)-1] {
+				base.LowestSupportSpeedup = speedup
+			}
+		}
+	}
+	base.Note = "speedup is Apriori's time over the run's time at the same support; " +
+		"pattern growth wins grow as support falls and candidate sets explode"
+	return base, nil
+}
+
+// WritePatternBaseline emits the EXP-P3 baseline as indented JSON.
+func WritePatternBaseline(w io.Writer, s Scale) error {
+	base, err := MeasurePatternBaseline(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// RunP3 prints the pattern-growth sweep as a table: each engine at each
+// support level with wall-clock, speedup over Apriori, and allocations.
+func RunP3(w io.Writer, s Scale) error {
+	header(w, "P3", "pattern growth vs candidate generation across supports")
+	base, err := MeasurePatternBaseline(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s (GOMAXPROCS=%d)\n", base.Fixture, base.GOMAXPROCS)
+	fmt.Fprintf(w, "%-10s%-16s%10s%12s%10s%12s%12s\n",
+		"minsup", "miner", "frequent", "ms", "speedup", "alloc MB", "allocs")
+	for _, r := range base.Runs {
+		fmt.Fprintf(w, "%-10.4f%-16s%10d%12.1f%10.2f%12.1f%12d\n",
+			r.MinSup, r.Miner, r.Frequent, r.Millis, r.Speedup, float64(r.Bytes)/1e6, r.Allocs)
+	}
+	fmt.Fprintf(w, "\nFPGrowth at the lowest support: %.2fx over Apriori\n", base.LowestSupportSpeedup)
+	if base.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", base.Note)
+	}
+	return nil
+}

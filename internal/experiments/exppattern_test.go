@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestPatternBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WritePatternBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base PatternBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	// 3 engines x 5 support levels.
+	if len(base.Runs) != 15 {
+		t.Fatalf("runs = %d, want 15", len(base.Runs))
+	}
+	for _, r := range base.Runs {
+		if r.Millis <= 0 || r.Speedup <= 0 || r.Frequent <= 0 {
+			t.Errorf("run %+v has non-positive fields", r)
+		}
+		if r.Allocs == 0 || r.Bytes == 0 {
+			t.Errorf("run %+v is missing allocation stats", r)
+		}
+		if r.Miner == "Apriori" && r.Speedup != 1.0 {
+			t.Errorf("Apriori reference run %+v should have speedup 1.0", r)
+		}
+	}
+	if base.LowestSupportSpeedup <= 0 {
+		t.Fatalf("lowest-support speedup = %v", base.LowestSupportSpeedup)
+	}
+}

@@ -1,0 +1,370 @@
+// Package fptree implements the pattern-growth substrate of the FP-growth
+// miner (Han, Pei & Yin, SIGMOD 2000 — the candidate-free successor of the
+// level-wise miners this repo reproduces from the SIGMOD'96 tutorial): a
+// pooled-node FP-tree with header tables over support-descending item
+// ranks.
+//
+// The package obeys the repo-wide build/merge/project contract:
+//
+//   - Build: a tree is constructed per contiguous database shard by
+//     inserting each transaction's frequent items in rank order, so common
+//     prefixes share nodes and the tree is a compressed representation of
+//     the shard (nodes live in one pooled slice, links are int32 indices —
+//     no per-node allocations, no pointer chasing across the heap).
+//   - Merge: per-shard trees combine by serial path-wise integer addition
+//     into a global tree. Addition is commutative, so the merged counts
+//     (node counts and header totals alike) are bit-identical to a
+//     single-threaded build over the whole database regardless of shard
+//     count or merge order.
+//   - Project: mining grows patterns by projecting a rank's conditional
+//     pattern base (the prefix paths of its header chain) into a pruned
+//     conditional tree, using a Scratch that recycles count arrays, path
+//     buffers and whole trees across the recursion. Projection never
+//     rescans the database; every conditional count is an exact support.
+//
+// internal/assoc's FPGrowth drives the recursion (single-path shortcut,
+// per-item fan-out across workers) and assembles the Result.
+package fptree
+
+import (
+	"sort"
+
+	"repro/internal/transactions"
+)
+
+// Ranks fixes the item order every FP-tree over one database shares:
+// frequent items get dense ranks 0,1,2,… in support-descending order
+// (ties broken by ascending item id, so the order is deterministic).
+// Transactions are inserted most-frequent-first, which maximises prefix
+// sharing — the compression argument of the FP-tree paper.
+type Ranks struct {
+	// OfItem maps an item id to its rank; -1 marks infrequent items.
+	OfItem []int32
+	// Items maps a rank back to its item id.
+	Items []int32
+	// Counts holds each rank's global support, descending.
+	Counts []int
+}
+
+// NewRanks builds the rank table from per-item support counts (indexed by
+// item id, as produced by a pass-1 scan) and the absolute support floor.
+func NewRanks(counts []int, minCount int) *Ranks {
+	r := &Ranks{OfItem: make([]int32, len(counts))}
+	for i := range r.OfItem {
+		r.OfItem[i] = -1
+	}
+	order := make([]int32, 0, len(counts))
+	for item, c := range counts {
+		if c >= minCount {
+			order = append(order, int32(item))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		return a < b
+	})
+	r.Items = order
+	r.Counts = make([]int, len(order))
+	for rk, item := range order {
+		r.OfItem[item] = int32(rk)
+		r.Counts[rk] = counts[item]
+	}
+	return r
+}
+
+// Len returns the number of ranked (frequent) items.
+func (r *Ranks) Len() int { return len(r.Items) }
+
+// node is one FP-tree node. Links are indices into the owning tree's node
+// pool; 0 is the null link (node 0 is the root, which is never a child,
+// sibling or header-chain member).
+type node struct {
+	rank    int32 // item rank; unused on the root
+	parent  int32 // parent node, 0 for depth-1 nodes
+	child   int32 // first child, 0 if leaf
+	sibling int32 // next sibling in the parent's child list
+	next    int32 // next node of the same rank (header chain)
+	count   int   // transactions whose rank path runs through this node
+}
+
+// Tree is a pooled-node FP-tree: nodes live in one slice, the header table
+// chains all nodes of a rank, and totals accumulates each rank's support
+// within the tree. All trees over the same database share one *Ranks.
+type Tree struct {
+	ranks  *Ranks
+	nodes  []node  // nodes[0] is the root
+	heads  []int32 // rank -> first node of the header chain, 0 if absent
+	totals []int   // rank -> summed node counts (the rank's support here)
+	// present lists the ranks with nonzero totals (first-touch order until
+	// Present sorts it), so mining a conditional tree iterates only the few
+	// ranks of its pattern base instead of the whole rank universe.
+	present []int32
+	// rootIdx maps rank -> depth-1 child of the root (0 if absent). The
+	// root is the one node whose child list grows towards |L1| siblings —
+	// every transaction starts an insert there — so it gets a direct
+	// index while deeper nodes keep the short sibling scan.
+	rootIdx []int32
+}
+
+// New returns an empty tree over the given rank table.
+func New(r *Ranks) *Tree {
+	return &Tree{
+		ranks:   r,
+		nodes:   make([]node, 1, 64),
+		heads:   make([]int32, r.Len()),
+		totals:  make([]int, r.Len()),
+		rootIdx: make([]int32, r.Len()),
+	}
+}
+
+// Build constructs one tree from a run of transactions — the per-shard
+// construction step; shard trees combine with Merge.
+func Build(txs []transactions.Itemset, r *Ranks) *Tree {
+	t := New(r)
+	var buf []int32
+	for _, tx := range txs {
+		buf = t.AddTransaction(tx, buf)
+	}
+	return t
+}
+
+// Ranks returns the shared rank table.
+func (t *Tree) Ranks() *Ranks { return t.ranks }
+
+// Total returns the summed count of rank's nodes — the exact support of
+// the rank's item within the (conditional) database this tree represents.
+func (t *Tree) Total(rank int32) int { return t.totals[rank] }
+
+// Empty reports whether the tree holds no transactions.
+func (t *Tree) Empty() bool { return len(t.nodes) == 1 }
+
+// NumNodes returns the number of item nodes (the root is not counted).
+func (t *Tree) NumNodes() int { return len(t.nodes) - 1 }
+
+// AddTransaction filters tx to its ranked items, orders them by ascending
+// rank (most frequent first) and inserts the path with count 1. buf is a
+// reusable rank buffer; the possibly-grown buffer is returned so callers
+// can thread it through a build loop without reallocating.
+func (t *Tree) AddTransaction(tx transactions.Itemset, buf []int32) []int32 {
+	buf = buf[:0]
+	for _, item := range tx {
+		if item < len(t.ranks.OfItem) {
+			if rk := t.ranks.OfItem[item]; rk >= 0 {
+				buf = append(buf, rk)
+			}
+		}
+	}
+	// Insertion sort: transactions are short and an itemset never repeats
+	// an item, so this beats sort.Slice on the build hot path.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	if len(buf) > 0 {
+		t.Insert(buf, 1)
+	}
+	return buf
+}
+
+// Insert adds one rank path (ascending ranks, i.e. most frequent first)
+// with the given count, sharing existing prefix nodes.
+func (t *Tree) Insert(path []int32, count int) {
+	cur := int32(0)
+	for _, rk := range path {
+		if t.totals[rk] == 0 {
+			t.present = append(t.present, rk)
+		}
+		t.totals[rk] += count
+		cur = t.step(cur, rk, count)
+	}
+}
+
+// Present returns the ranks that occur in the tree, sorted ascending. For
+// a conditional tree this is exactly the surviving pattern base — usually
+// a tiny fraction of the rank universe — which keeps the mining recursion
+// at O(ranks present) per tree instead of O(|L1|).
+func (t *Tree) Present() []int32 {
+	sort.Slice(t.present, func(i, j int) bool { return t.present[i] < t.present[j] })
+	return t.present
+}
+
+// step descends from cur to its rk child, creating the child if missing,
+// and adds count to it.
+func (t *Tree) step(cur, rk int32, count int) int32 {
+	var child int32
+	if cur == 0 {
+		child = t.rootIdx[rk]
+	} else {
+		child = t.nodes[cur].child
+		for child != 0 && t.nodes[child].rank != rk {
+			child = t.nodes[child].sibling
+		}
+	}
+	if child == 0 {
+		child = int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{
+			rank:    rk,
+			parent:  cur,
+			sibling: t.nodes[cur].child,
+			next:    t.heads[rk],
+		})
+		t.nodes[cur].child = child
+		t.heads[rk] = child
+		if cur == 0 {
+			t.rootIdx[rk] = child
+		}
+	}
+	t.nodes[child].count += count
+	return child
+}
+
+// Merge folds o into t by path-wise integer addition: every path of o is
+// inserted into t with its count. Merging shard trees in any order yields
+// node counts and header totals bit-identical to building one tree over
+// the concatenated shards, because addition is commutative and paths are
+// independent of shard boundaries. Merge is serial by design — the
+// parallelism lives in the per-shard builds.
+func (t *Tree) Merge(o *Tree) {
+	t.mergeChildren(0, 0, o)
+}
+
+// mergeChildren mirrors o's subtree under src onto t's subtree under dst.
+func (t *Tree) mergeChildren(dst, src int32, o *Tree) {
+	for c := o.nodes[src].child; c != 0; c = o.nodes[c].sibling {
+		rk := o.nodes[c].rank
+		cnt := o.nodes[c].count
+		if t.totals[rk] == 0 {
+			t.present = append(t.present, rk)
+		}
+		t.totals[rk] += cnt
+		d := t.step(dst, rk, cnt)
+		t.mergeChildren(d, c, o)
+	}
+}
+
+// Scratch pools the buffers conditional projection and single-path
+// detection reuse across the mining recursion: the per-rank conditional
+// count array (zeroed back after every projection), the ancestor walk
+// buffer, the single-path buffers, and released conditional trees. One
+// Scratch serves one goroutine; it must not be shared concurrently.
+type Scratch struct {
+	counts   []int   // per-rank conditional counts, transiently non-zero
+	touched  []int32 // ranks written into counts by the current projection
+	path     []int32 // ancestor path buffer
+	spRanks  []int32 // SinglePath rank buffer
+	spCounts []int   // SinglePath count buffer
+	free     []*Tree // released conditional trees, ready for reuse
+}
+
+// NewScratch returns a scratch sized for the rank universe.
+func NewScratch(r *Ranks) *Scratch {
+	return &Scratch{counts: make([]int, r.Len())}
+}
+
+// Release returns a conditional tree obtained from Project to the pool so
+// the next projection reuses its node slice and header arrays.
+func (s *Scratch) Release(t *Tree) { s.free = append(s.free, t) }
+
+// getTree hands out a recycled tree (reset) or a fresh one.
+func (s *Scratch) getTree(r *Ranks) *Tree {
+	if n := len(s.free); n > 0 {
+		t := s.free[n-1]
+		s.free = s.free[:n-1]
+		t.reset(r)
+		return t
+	}
+	return New(r)
+}
+
+// reset clears the tree for reuse under the given rank table.
+func (t *Tree) reset(r *Ranks) {
+	t.ranks = r
+	t.nodes = t.nodes[:1]
+	t.nodes[0] = node{}
+	t.present = t.present[:0]
+	if len(t.heads) != r.Len() {
+		t.heads = make([]int32, r.Len())
+		t.totals = make([]int, r.Len())
+		t.rootIdx = make([]int32, r.Len())
+		return
+	}
+	for i := range t.heads {
+		t.heads[i] = 0
+	}
+	for i := range t.totals {
+		t.totals[i] = 0
+	}
+	for i := range t.rootIdx {
+		t.rootIdx[i] = 0
+	}
+}
+
+// Project builds the conditional FP-tree of rank: the prefix paths of
+// rank's header chain form its conditional pattern base; items whose
+// conditional support falls below minCount are pruned before insertion
+// (conditional-tree pruning), so the returned tree holds exactly the
+// frequent extension context of rank. The tree comes from the scratch
+// pool — hand it back with s.Release once its recursion finishes.
+func (t *Tree) Project(rank int32, minCount int, s *Scratch) *Tree {
+	// Pass 1 over the header chain: exact conditional counts per ancestor
+	// rank, touching only the ranks that actually occur.
+	s.touched = s.touched[:0]
+	for n := t.heads[rank]; n != 0; n = t.nodes[n].next {
+		cnt := t.nodes[n].count
+		for p := t.nodes[n].parent; p != 0; p = t.nodes[p].parent {
+			rk := t.nodes[p].rank
+			if s.counts[rk] == 0 {
+				s.touched = append(s.touched, rk)
+			}
+			s.counts[rk] += cnt
+		}
+	}
+	cond := s.getTree(t.ranks)
+	// Pass 2: insert each prefix path, filtered to surviving ranks. The
+	// upward walk yields descending ranks; reverse before inserting.
+	for n := t.heads[rank]; n != 0; n = t.nodes[n].next {
+		cnt := t.nodes[n].count
+		s.path = s.path[:0]
+		for p := t.nodes[n].parent; p != 0; p = t.nodes[p].parent {
+			if rk := t.nodes[p].rank; s.counts[rk] >= minCount {
+				s.path = append(s.path, rk)
+			}
+		}
+		if len(s.path) == 0 {
+			continue
+		}
+		for i, j := 0, len(s.path)-1; i < j; i, j = i+1, j-1 {
+			s.path[i], s.path[j] = s.path[j], s.path[i]
+		}
+		cond.Insert(s.path, cnt)
+	}
+	// Zero only the touched counters so the array is clean for the next
+	// projection at O(distinct ranks seen), not O(|L1|).
+	for _, rk := range s.touched {
+		s.counts[rk] = 0
+	}
+	return cond
+}
+
+// SinglePath reports whether the tree is one chain (every node has at most
+// one child) and, if so, returns the chain's ranks and counts top-down.
+// The returned slices are scratch-owned and valid until the next
+// SinglePath call on the same scratch. Counts never increase along the
+// chain, which is what makes the miner's subset shortcut exact: a subset's
+// support is its deepest member's count.
+func (t *Tree) SinglePath(s *Scratch) ([]int32, []int, bool) {
+	s.spRanks = s.spRanks[:0]
+	s.spCounts = s.spCounts[:0]
+	for n := t.nodes[0].child; n != 0; n = t.nodes[n].child {
+		if t.nodes[n].sibling != 0 {
+			return nil, nil, false
+		}
+		s.spRanks = append(s.spRanks, t.nodes[n].rank)
+		s.spCounts = append(s.spCounts, t.nodes[n].count)
+	}
+	return s.spRanks, s.spCounts, true
+}

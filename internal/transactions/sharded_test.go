@@ -173,6 +173,96 @@ func TestConcatBitsetsUnaligned(t *testing.T) {
 	}
 }
 
+func TestConcatBitsetsEmptyParts(t *testing.T) {
+	// Empty shard views happen in practice: deletes can empty a shard, and
+	// ShardedDB.ToVerticalBitset pads items with zero-length parts. Empty
+	// parts must contribute nothing and shift nothing.
+	empty := NewBitset(0)
+	if out := ConcatBitsets(); out.Len() != 0 || out.OnesCount() != 0 {
+		t.Fatalf("concat of nothing: len=%d popcount=%d", out.Len(), out.OnesCount())
+	}
+	if out := ConcatBitsets(empty, empty); out.Len() != 0 || out.OnesCount() != 0 {
+		t.Fatalf("concat of empties: len=%d popcount=%d", out.Len(), out.OnesCount())
+	}
+	a := NewBitset(70)
+	a.Set(0)
+	a.Set(69)
+	for _, parts := range [][]*Bitset{
+		{empty, a},
+		{a, empty},
+		{empty, a, empty},
+	} {
+		out := ConcatBitsets(parts...)
+		if out.Len() != 70 || out.OnesCount() != 2 || !out.Has(0) || !out.Has(69) {
+			t.Fatalf("concat with empty parts: len=%d popcount=%d", out.Len(), out.OnesCount())
+		}
+	}
+}
+
+func TestConcatBitsetsSingleShard(t *testing.T) {
+	// One part: the concat must be a faithful copy, not an alias.
+	a := NewBitset(130)
+	for _, i := range []int{0, 64, 129} {
+		a.Set(i)
+	}
+	out := ConcatBitsets(a)
+	if out.Len() != a.Len() || out.OnesCount() != a.OnesCount() {
+		t.Fatalf("single-part concat: len=%d popcount=%d", out.Len(), out.OnesCount())
+	}
+	out.Set(1)
+	if a.Has(1) {
+		t.Fatal("single-part concat aliases its input")
+	}
+}
+
+func TestConcatBitsetsWordBoundaryCaps(t *testing.T) {
+	// Non-power-of-two shard caps that are still multiples of 64 (the
+	// ShardedDB invariant — e.g. shardCap 192) must take the word-copy path and
+	// agree bit-for-bit with a brute-force rebuild, including bits at the
+	// first/last slot of every word boundary.
+	for _, shardCap := range []int{64, 192, 320} {
+		nParts := 3
+		parts := make([]*Bitset, nParts)
+		var wantBits []int
+		for p := 0; p < nParts; p++ {
+			b := NewBitset(shardCap)
+			for _, off := range []int{0, 1, 63, 64, shardCap - 65, shardCap - 64, shardCap - 1} {
+				if off >= 0 && off < shardCap {
+					b.Set(off)
+					wantBits = append(wantBits, p*shardCap+off)
+				}
+			}
+			parts[p] = b
+		}
+		out := ConcatBitsets(parts...)
+		if out.Len() != nParts*shardCap {
+			t.Fatalf("shardCap %d: len=%d, want %d", shardCap, out.Len(), nParts*shardCap)
+		}
+		want := NewBitset(nParts * shardCap)
+		for _, i := range wantBits {
+			want.Set(i)
+		}
+		if out.OnesCount() != want.OnesCount() {
+			t.Fatalf("shardCap %d: popcount=%d, want %d", shardCap, out.OnesCount(), want.OnesCount())
+		}
+		for i := 0; i < out.Len(); i++ {
+			if out.Has(i) != want.Has(i) {
+				t.Fatalf("shardCap %d: bit %d = %v, want %v", shardCap, i, out.Has(i), want.Has(i))
+			}
+		}
+	}
+	// A word-multiple part followed by a short tail (the live last shard):
+	// only the tail may sit past a word boundary.
+	a := NewBitset(192)
+	a.Set(191)
+	tail := NewBitset(17)
+	tail.Set(16)
+	out := ConcatBitsets(a, tail)
+	if out.Len() != 209 || !out.Has(191) || !out.Has(192+16) || out.OnesCount() != 2 {
+		t.Fatalf("word-multiple + tail: len=%d popcount=%d", out.Len(), out.OnesCount())
+	}
+}
+
 func TestShardedDBToVerticalBitset(t *testing.T) {
 	// The word-aligned per-shard concatenation must reproduce the plain
 	// whole-database vertical bitset view — including items that first
