@@ -336,6 +336,26 @@ func BenchmarkParallelPartitionW4(b *testing.B) {
 func BenchmarkFPGrowthW1(b *testing.B) { benchMiner(b, &assoc.FPGrowth{Workers: 1}) }
 func BenchmarkFPGrowthW4(b *testing.B) { benchMiner(b, &assoc.FPGrowth{Workers: 4}) }
 
+// benchDistributed measures the coordinator/worker backend over the
+// in-process gob transport — the shipping + serialization + merge overhead
+// EXP-P4 tracks, as an allocation-aware single configuration.
+func benchDistributed(b *testing.B, engine string, workers int) {
+	db := baskets(b)
+	d := &assoc.Distributed{Engine: engine, Workers: workers}
+	defer d.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Mine(db, 0.0075); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedAprioriW1(b *testing.B)  { benchDistributed(b, assoc.DistEngineApriori, 1) }
+func BenchmarkDistributedAprioriW4(b *testing.B)  { benchDistributed(b, assoc.DistEngineApriori, 4) }
+func BenchmarkDistributedFPGrowthW4(b *testing.B) { benchDistributed(b, assoc.DistEngineFPGrowth, 4) }
+
 func benchMinerLowSupport(b *testing.B, m assoc.Miner) {
 	db := baskets(b)
 	b.ReportAllocs()

@@ -11,6 +11,9 @@
 //	dmbench -paralleljson BENCH_parallel.json   # emit the EXP-P1 baseline
 //	dmbench -incrementaljson BENCH_incremental.json   # emit the EXP-P2 baseline
 //	dmbench -fpgrowthjson BENCH_fpgrowth.json   # emit the EXP-P3 baseline
+//	dmbench -dist         # run the EXP-P4 distributed overhead sweep
+//	dmbench -distworkers 4   # narrow the EXP-P4 worker ladder to one count
+//	dmbench -distjson BENCH_dist.json   # emit the EXP-P4 baseline
 package main
 
 import (
@@ -33,6 +36,9 @@ func main() {
 		parallelJSON = flag.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
 		incJSON      = flag.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
 		fpJSON       = flag.String("fpgrowthjson", "", "write the EXP-P3 pattern-growth baseline as JSON to this file and exit")
+		distFlag     = flag.Bool("dist", false, "run the EXP-P4 distributed overhead sweep (shorthand for -exp P4)")
+		distWorkers  = flag.Int("distworkers", 0, "narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
+		distJSON     = flag.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
 	)
 	flag.Parse()
 
@@ -51,6 +57,29 @@ func main() {
 			n = runtime.GOMAXPROCS(0)
 		}
 		experiments.DefaultWorkers = n
+	}
+	if *distWorkers > 0 {
+		experiments.DistWorkerCounts = []int{*distWorkers}
+	}
+	if *distJSON != "" {
+		var buf bytes.Buffer
+		if err := experiments.WriteDistBaseline(&buf, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "distributed baseline failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*distJSON, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote distributed baseline to %s\n", *distJSON)
+		return
+	}
+	if *distFlag {
+		if err := experiments.RunP4(os.Stdout, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "EXP-P4 failed:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *parallelJSON != "" {
 		// Measure into memory first so a failed or interrupted sweep never

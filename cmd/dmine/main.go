@@ -4,6 +4,7 @@
 //
 //	dmine assoc    -in baskets.txt -minsup 0.01 -minconf 0.5 [-algo Apriori]
 //	               [-incremental -updates updates.txt -shardcap 1024 -verify]
+//	               [-dist -distworkers 4]
 //	dmine seq      -in sequences.txt -minsup 0.02 [-algo GSP]
 //	dmine cluster  -in points.csv -k 5 [-algo kmeans]
 //	dmine classify -in people.csv -class group [-algo tree] [-folds 10]
@@ -111,6 +112,8 @@ func runAssoc(args []string) error {
 	updates := fs.String("updates", "", "incremental: update script ('+ items…' append, '- tid' delete, '=' re-maintain)")
 	shardCap := fs.Int("shardcap", 0, "incremental: transactions per shard (rounded up to a multiple of 64; 0 = 1024)")
 	verify := fs.Bool("verify", false, "incremental: check each maintained result is byte-identical to a from-scratch run")
+	distributed := fs.Bool("dist", false, "mine through the distributed coordinator/worker backend (in-process transport; -algo selects Apriori or FPGrowth as the engine)")
+	distWorkers := fs.Int("distworkers", 0, "distributed: worker count for the in-process transport; 0 means GOMAXPROCS")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +130,7 @@ func runAssoc(args []string) error {
 	if err != nil {
 		return err
 	}
-	if n := *workers; n != 1 {
+	if n := *workers; n != 1 && !*distributed {
 		if n <= 0 {
 			n = runtime.GOMAXPROCS(0)
 		}
@@ -136,6 +139,28 @@ func runAssoc(args []string) error {
 		} else {
 			fmt.Fprintf(os.Stderr, "dmine: %s does not support -workers; running serially\n", miner.Name())
 		}
+	}
+	// The distributed wrap comes after the -workers application so the
+	// generic flag cannot silently override -distworkers.
+	if *distributed {
+		if *workers != 1 {
+			fmt.Fprintln(os.Stderr, "dmine: -workers does not apply to -dist; use -distworkers")
+		}
+		engine := *algo
+		switch engine {
+		case "Distributed":
+			engine = assoc.DistEngineApriori
+		case assoc.DistEngineApriori, assoc.DistEngineFPGrowth:
+		default:
+			return fmt.Errorf("-dist supports -algo %s or %s, not %q",
+				assoc.DistEngineApriori, assoc.DistEngineFPGrowth, *algo)
+		}
+		wn := *distWorkers
+		if wn <= 0 {
+			wn = runtime.GOMAXPROCS(0)
+		}
+		miner = &assoc.Distributed{Workers: wn, Engine: engine}
+		fmt.Printf("distributed: %s engine over %d in-process workers (gob transport)\n", engine, wn)
 	}
 	var res *assoc.Result
 	if *incremental {

@@ -30,8 +30,19 @@
 // invertible an append or delete re-counts only the dirty shards —
 // falling back to a full re-mine only when the maintained frequent set's
 // negative border is crossed. Results stay byte-identical to a
-// from-scratch run at every step. A future distributed backend ships the
-// same shards to remote workers and merges their buffers.
+// from-scratch run at every step.
+//
+// The distributed backend (internal/dist + assoc.Distributed) carries the
+// same contract across a process boundary: a coordinator ships
+// version-stamped shard snapshots to workers over a pluggable transport
+// (in-process channels for single-binary use, net/rpc over gob for real
+// deployment), workers scan their replicas into the identical per-shard
+// structures — including serialized FP-tree builds — and the coordinator
+// merges the returned buffers with the same commutative adds, so
+// distributed results are byte-identical to local runs (EXP-P4 tracks the
+// shipping and serialization overhead). Binding a ShardedDB re-ships only
+// dirty shards after updates, which lets assoc.Incremental use Distributed
+// as its full-run base.
 //
 // See README.md for the tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured-vs-published results. The root-level

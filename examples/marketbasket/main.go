@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"time"
 
@@ -49,6 +50,11 @@ func run() error {
 	var reference map[string]int
 	fmt.Printf("%-16s%10s%12s\n", "algorithm", "time", "itemsets")
 	for _, m := range core.Miners() {
+		// Engines that own resources (the Distributed engine's in-process
+		// transport goroutines) expose a Close; release them once timed.
+		if c, ok := m.(io.Closer); ok {
+			defer c.Close()
+		}
 		start := time.Now()
 		res, err := m.Mine(db, minSupport)
 		if err != nil {

@@ -26,7 +26,7 @@ func (a *AIS) Name() string { return "AIS" }
 func (a *AIS) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 

@@ -46,7 +46,7 @@ func (a *Apriori) SetWorkers(n int) { a.Workers = n }
 func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
@@ -98,14 +98,29 @@ func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount, work
 	if n < 2 {
 		return nil
 	}
-	rank := make([]int, db.NumItems())
+	counts := countTriangle(db, l1Ranks(l1, db.NumItems()), n, workers)
+	return thresholdTriangle(l1, counts, minCount)
+}
+
+// l1Ranks builds the item-id -> L1-rank map of the triangular pass-2 scan
+// (-1 marks infrequent items). l1 is in item order, as frequentOne emits.
+func l1Ranks(l1 []ItemsetCount, numItems int) []int {
+	rank := make([]int, numItems)
 	for i := range rank {
 		rank[i] = -1
 	}
 	for r, ic := range l1 {
 		rank[ic.Items[0]] = r
 	}
-	counts := countTriangle(db, rank, n, workers)
+	return rank
+}
+
+// thresholdTriangle filters a merged triangular pair-count array to the
+// frequent pairs, emitted in lexicographic order. It is shared by the
+// local and the distributed pass-2 paths, so thresholding cannot diverge
+// between them.
+func thresholdTriangle(l1 []ItemsetCount, counts []int, minCount int) []ItemsetCount {
+	n := len(l1)
 	tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
 	var out []ItemsetCount
 	for i := 0; i < n; i++ {

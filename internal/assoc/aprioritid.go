@@ -23,7 +23,7 @@ type tidEntry struct {
 func (a *AprioriTid) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
@@ -180,7 +180,7 @@ func (a *AprioriHybrid) Name() string { return "AprioriHybrid" }
 func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	budget := a.BudgetEntries
 	if budget <= 0 {

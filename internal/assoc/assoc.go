@@ -140,6 +140,15 @@ func checkInput(db *transactions.DB, minSupport float64) (int, error) {
 	return db.AbsoluteSupport(minSupport), nil
 }
 
+// emptyResult is the canonical degenerate Result every miner returns
+// alongside a checkInput error (empty database, out-of-range support):
+// zero-valued, no levels, no passes, Canonical() == "". Degenerate inputs
+// thus behave identically across engines — callers that test the error get
+// the usual sentinel, and callers that only read the Result get a usable
+// empty one instead of a nil dereference. The cross-engine degenerate
+// table test pins this contract.
+func emptyResult() *Result { return &Result{} }
+
 // frequentOne computes L1 by a counting scan, returned in item order.
 func frequentOne(db *transactions.DB, minCount int) []ItemsetCount {
 	return frequentOneWorkers(db, minCount, 1)

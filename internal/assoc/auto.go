@@ -96,7 +96,7 @@ func (a *Auto) Select(db *transactions.DB, minSupport float64) (Miner, error) {
 func (a *Auto) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	m, err := a.Select(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	return m.Mine(db, minSupport)
 }

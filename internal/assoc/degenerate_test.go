@@ -1,0 +1,77 @@
+package assoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/transactions"
+)
+
+// degenerateEngines returns the engine lineup the uniform-degenerate
+// contract covers (the ISSUE-4 five plus everything else registered, since
+// the contract is package-wide). The cleanup func closes the distributed
+// transport.
+func degenerateEngines() ([]Miner, func()) {
+	d := &Distributed{}
+	miners := append(allMiners(), d)
+	return miners, func() { d.Close() }
+}
+
+// TestDegenerateInputsUniformAcrossEngines is the cross-engine table test:
+// an empty database, minSupport <= 0 and minSupport > 1 must yield, from
+// every engine, the matching sentinel error AND the canonical empty Result
+// — non-nil, zero frequent itemsets, empty Canonical bytes — never a nil
+// result and never a panic.
+func TestDegenerateInputsUniformAcrossEngines(t *testing.T) {
+	db := paperDB(t)
+	cases := []struct {
+		name    string
+		db      *transactions.DB
+		minSup  float64
+		wantErr error
+	}{
+		{"empty db", transactions.NewDB(), 0.5, ErrEmptyDB},
+		{"nil db", nil, 0.5, ErrEmptyDB},
+		{"zero support", db, 0, ErrBadSupport},
+		{"negative support", db, -0.25, ErrBadSupport},
+		{"support above one", db, 1.5, ErrBadSupport},
+	}
+	engines, cleanup := degenerateEngines()
+	defer cleanup()
+	for _, m := range engines {
+		for _, tc := range cases {
+			res, err := m.Mine(tc.db, tc.minSup)
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("%s / %s: err = %v, want %v", m.Name(), tc.name, err, tc.wantErr)
+			}
+			if res == nil {
+				t.Errorf("%s / %s: nil Result; want the canonical empty one", m.Name(), tc.name)
+				continue
+			}
+			if res.NumFrequent() != 0 || res.MaxLevel() != 0 || len(res.Passes) != 0 {
+				t.Errorf("%s / %s: non-empty degenerate Result: %+v", m.Name(), tc.name, res)
+			}
+			if len(res.Canonical()) != 0 {
+				t.Errorf("%s / %s: Canonical = %q, want empty", m.Name(), tc.name, res.Canonical())
+			}
+			if res.MinCount != 0 || res.NumTx != 0 {
+				t.Errorf("%s / %s: degenerate Result carries counts: %+v", m.Name(), tc.name, res)
+			}
+			// The empty result must be safe to use, not just to look at.
+			if _, ok := res.Support(transactions.NewItemset(1)); ok {
+				t.Errorf("%s / %s: empty Result claims support", m.Name(), tc.name)
+			}
+			if all := res.All(); len(all) != 0 {
+				t.Errorf("%s / %s: All() = %v", m.Name(), tc.name, all)
+			}
+		}
+	}
+}
+
+// TestDegenerateRuleGeneration covers the same contract one layer up: rule
+// generation over the canonical empty Result must error without panicking.
+func TestDegenerateRuleGeneration(t *testing.T) {
+	if _, err := GenerateRules(emptyResult(), 0.5); !errors.Is(err, ErrEmptyDB) {
+		t.Errorf("rules over empty result: err = %v, want ErrEmptyDB", err)
+	}
+}

@@ -32,7 +32,7 @@ func (d *DHP) SetWorkers(n int) { d.Workers = n }
 func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	buckets := d.NumBuckets
 	if buckets <= 0 {

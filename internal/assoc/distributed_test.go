@@ -1,0 +1,341 @@
+package assoc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+// newDistributed builds a Distributed engine over a fresh in-process
+// gob-encoding transport; the caller must Close it.
+func newDistributed(engine string, workers int) *Distributed {
+	return &Distributed{
+		Transport: dist.NewLocalTransport(workers, true),
+		Workers:   workers,
+		Engine:    engine,
+	}
+}
+
+// TestDistributedByteIdenticalProperty is the acceptance gate: on random
+// databases, the distributed Apriori path is byte-identical to local
+// Apriori and the distributed FPGrowth path to local FPGrowth, at workers
+// 1, 2 and 4 over the in-process gob transport.
+func TestDistributedByteIdenticalProperty(t *testing.T) {
+	f := func(seed int64, minRaw uint8) bool {
+		db := randomDB(seed)
+		minSup := 0.1 + float64(minRaw%60)/100.0
+		for _, workers := range []int{1, 2, 4} {
+			for _, engine := range []string{DistEngineApriori, DistEngineFPGrowth} {
+				var local Miner
+				if engine == DistEngineApriori {
+					local = &Apriori{}
+				} else {
+					local = &FPGrowth{}
+				}
+				want, err := local.Mine(db, minSup)
+				if err != nil {
+					t.Logf("local %s: %v", engine, err)
+					return false
+				}
+				d := newDistributed(engine, workers)
+				got, err := d.Mine(db, minSup)
+				d.Close()
+				if err != nil {
+					t.Logf("distributed %s workers=%d: %v", engine, workers, err)
+					return false
+				}
+				if string(got.Canonical()) != string(want.Canonical()) {
+					t.Logf("distributed %s workers=%d diverges (seed %d minSup %v)\n got %s\nwant %s",
+						engine, workers, seed, minSup, got.Canonical(), want.Canonical())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistributedSyntheticWorkload runs the equivalence once on a
+// Quest-generator workload deep enough for multi-level passes and real
+// hash-tree counting, at workers 4.
+func TestDistributedSyntheticWorkload(t *testing.T) {
+	db, err := synth.Baskets(synth.BasketConfig{
+		NumTransactions: 400, AvgTxSize: 8, AvgPatternSize: 3,
+		NumPatterns: 40, NumItems: 60,
+		CorruptionMean: 0.4, CorruptionSD: 0.1, CorrelationMean: 0.5, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{DistEngineApriori, DistEngineFPGrowth} {
+		want, err := (&Apriori{}).Mine(db, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := newDistributed(engine, 4)
+		got, err := d.Mine(db, 0.02)
+		d.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if string(got.Canonical()) != string(want.Canonical()) {
+			t.Errorf("distributed %s diverges from Apriori on synthetic workload", engine)
+		}
+	}
+}
+
+// TestDistributedDefaultTransport checks the zero-value engine builds its
+// own in-process transport and still matches the local reference.
+func TestDistributedDefaultTransport(t *testing.T) {
+	db := randomDB(99)
+	want, err := (&Apriori{}).Mine(db, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Distributed{}
+	defer d.Close()
+	got, err := d.Mine(db, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Canonical()) != string(want.Canonical()) {
+		t.Error("zero-value Distributed diverges from Apriori")
+	}
+	// Re-mining a plain DB opens a new epoch: everything re-ships, stale
+	// replicas can never alias a different database.
+	before := d.Coordinator().Stats().ShippedShards
+	if _, err := d.Mine(db, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if after := d.Coordinator().Stats().ShippedShards; after <= before {
+		t.Errorf("plain re-mine shipped nothing (before %d, after %d)", before, after)
+	}
+}
+
+// TestDistributedUnknownEngine pins the engine-name validation.
+func TestDistributedUnknownEngine(t *testing.T) {
+	d := newDistributed("Eclat", 1)
+	defer d.Close()
+	if _, err := d.Mine(randomDB(3), 0.5); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestDistributedStoreReshipsOnlyDirtyShards is the incremental acceptance
+// check: with a bound store, a full re-mine after one Append re-ships
+// exactly the shards the mutation dirtied, not the whole database.
+func TestDistributedStoreReshipsOnlyDirtyShards(t *testing.T) {
+	store := transactions.NewShardedDB(64)
+	for i := 0; i < 300; i++ {
+		if err := store.Append(i%7, 7+i%5, 12+i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := newDistributed(DistEngineApriori, 2)
+	defer d.Close()
+	d.BindStore(store)
+
+	mineStore := func() *Result {
+		t.Helper()
+		res, err := d.Mine(store.Snapshot(), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mineStore()
+	shipped := d.Coordinator().Stats().ShippedShards
+	if shipped != store.NumShards() {
+		t.Fatalf("initial mine shipped %d shards, want %d", shipped, store.NumShards())
+	}
+
+	// Clean re-mine: nothing moves.
+	mineStore()
+	if got := d.Coordinator().Stats().ShippedShards; got != shipped {
+		t.Fatalf("clean re-mine shipped %d more shards", got-shipped)
+	}
+
+	// One append dirties exactly the tail shard; one delete in shard 0
+	// dirties exactly shard 0. Each re-mine moves only those.
+	if err := store.Append(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	mineStore()
+	if got := d.Coordinator().Stats().ShippedShards; got != shipped+1 {
+		t.Fatalf("append re-mine shipped %d shards, want 1", got-shipped)
+	}
+	shipped = d.Coordinator().Stats().ShippedShards
+	if _, err := store.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	mineStore()
+	if got := d.Coordinator().Stats().ShippedShards; got != shipped+1 {
+		t.Fatalf("delete re-mine shipped %d shards, want 1", got-shipped)
+	}
+
+	// The store-backed result still matches a local from-scratch run.
+	want, err := (&Apriori{}).Mine(store.Snapshot(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mineStore().Canonical()) != string(want.Canonical()) {
+		t.Error("store-backed distributed mine diverges from local Apriori")
+	}
+}
+
+// TestIncrementalWithDistributedBase drives the maintainer with a
+// Distributed base through appends and deletes: every maintained result is
+// byte-identical to a from-scratch run, and the full re-mines triggered by
+// border crossings re-ship only dirty shards (Attach binds the store).
+func TestIncrementalWithDistributedBase(t *testing.T) {
+	store := transactions.NewShardedDB(64)
+	for i := 0; i < 256; i++ {
+		if err := store.Append(i%6, 6+i%4, 10+i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := newDistributed(DistEngineApriori, 2)
+	defer d.Close()
+	inc := &Incremental{Base: d}
+	res, _, err := inc.Attach(store, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterAttach := d.Coordinator().Stats().ShippedShards
+	if afterAttach != store.NumShards() {
+		t.Fatalf("attach shipped %d shards, want %d", afterAttach, store.NumShards())
+	}
+	verify := func() {
+		t.Helper()
+		want, err := (&Apriori{}).Mine(store.Snapshot(), 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(res.Canonical()) != string(want.Canonical()) {
+			t.Fatal("maintained result diverges from from-scratch run")
+		}
+	}
+	verify()
+
+	// A burst of appends introducing a brand-new frequent item crosses the
+	// negative border, forcing a full re-mine through the distributed
+	// base. Only the dirtied tail shards may travel.
+	for i := 0; i < 40; i++ {
+		if err := store.Append(50, 51); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, stats, err := inc.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FullRun {
+		t.Fatalf("expected border-crossing full run, got %+v", stats)
+	}
+	verify()
+	reshipped := d.Coordinator().Stats().ShippedShards - afterAttach
+	// 40 appends into shardCap-64 shards touch at most two tail shards
+	// (the partially filled one plus a new one); every other shard must
+	// have been served from the workers' cached replicas.
+	if reshipped < 1 || reshipped > 2 {
+		t.Errorf("full re-mine re-shipped %d shards, want 1-2 (dirty tail only, %d total)",
+			reshipped, store.NumShards())
+	}
+
+	// A delete in the first shard plus maintenance: if a full run happens
+	// it may only re-ship that shard (and any shard the delete dirtied).
+	before := d.Coordinator().Stats().ShippedShards
+	if _, err := store.DeleteAt(1); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = inc.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify()
+	if got := d.Coordinator().Stats().ShippedShards - before; got > 1 {
+		t.Errorf("post-delete maintenance re-shipped %d shards, want <= 1", got)
+	}
+}
+
+// TestDistributedStaleSnapshotTakesPlainPath pins the store-match
+// identity walk: a snapshot taken before mutations that happen to leave
+// the store at the same length must NOT be treated as the store — the
+// engine mines the snapshot it was given (via the plain path), not the
+// store's current contents.
+func TestDistributedStaleSnapshotTakesPlainPath(t *testing.T) {
+	store := transactions.NewShardedDB(64)
+	for i := 0; i < 100; i++ {
+		if err := store.Append(i%5, 5+i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := newDistributed(DistEngineApriori, 2)
+	defer d.Close()
+	d.BindStore(store)
+
+	snap := store.Snapshot()
+	// One delete plus one append keeps the length equal while changing
+	// the contents.
+	if _, err := store.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(40, 41); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != snap.Len() {
+		t.Fatalf("setup broken: store %d vs snap %d", store.Len(), snap.Len())
+	}
+	got, err := d.Mine(snap, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Apriori{}).Mine(snap, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Canonical()) != string(want.Canonical()) {
+		t.Error("stale snapshot mined as the store's current contents")
+	}
+	// A fresh snapshot passes the identity walk again (store path).
+	fresh, err := d.Mine(store.Snapshot(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFresh, err := (&Apriori{}).Mine(store.Snapshot(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fresh.Canonical()) != string(wantFresh.Canonical()) {
+		t.Error("fresh snapshot diverges after plain-path interlude")
+	}
+}
+
+// TestDistributedDegenerateInputs checks Distributed obeys the uniform
+// degenerate contract like every local engine (the cross-engine table test
+// covers the rest).
+func TestDistributedDegenerateInputs(t *testing.T) {
+	d := newDistributed(DistEngineApriori, 1)
+	defer d.Close()
+	res, err := d.Mine(transactions.NewDB(), 0.5)
+	if !errors.Is(err, ErrEmptyDB) {
+		t.Fatalf("empty db err = %v", err)
+	}
+	if res == nil || res.NumFrequent() != 0 {
+		t.Fatalf("empty db result = %+v, want canonical empty", res)
+	}
+	res, err = d.Mine(randomDB(1), 0)
+	if !errors.Is(err, ErrBadSupport) {
+		t.Fatalf("minsup 0 err = %v", err)
+	}
+	if res == nil || len(res.Canonical()) != 0 {
+		t.Fatalf("minsup 0 result = %+v, want canonical empty", res)
+	}
+}

@@ -42,7 +42,7 @@ func (f *FPGrowth) SetWorkers(n int) { f.Workers = n }
 func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
@@ -54,11 +54,15 @@ func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error
 	}
 	tree := buildTree(db, ranks, f.Workers)
 
-	perRank := f.minePerRank(tree, minCount)
+	assembleGrowthLevels(res, f.minePerRank(tree, minCount))
+	return res, nil
+}
 
-	// Assemble levels: group by itemset length, then canonical sort. The
-	// per-rank buckets are disjoint, so concatenation order cannot change
-	// the sorted levels — workers only affect wall-clock time.
+// assembleGrowthLevels groups the per-rank pattern buckets by itemset
+// length into canonical sorted levels. The buckets are disjoint, so
+// concatenation order cannot change the sorted levels — workers (and, for
+// the distributed engine, shard placement) only affect wall-clock time.
+func assembleGrowthLevels(res *Result, perRank [][]ItemsetCount) {
 	for _, bucket := range perRank {
 		for _, ic := range bucket {
 			k := len(ic.Items)
@@ -68,6 +72,9 @@ func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error
 			res.Levels[k-1] = append(res.Levels[k-1], ic)
 		}
 	}
+	if len(res.Levels) == 0 {
+		return
+	}
 	for k := 2; k <= len(res.Levels); k++ {
 		sortLevel(res.Levels[k-1])
 		// Pattern growth generates no candidate sets; the per-pass stat
@@ -75,7 +82,6 @@ func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error
 		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(res.Levels[k-1]), Frequent: len(res.Levels[k-1])})
 	}
 	sortLevel(res.Levels[0])
-	return res, nil
 }
 
 // buildTree constructs the global FP-tree: per-shard private builds when

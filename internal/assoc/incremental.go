@@ -38,6 +38,15 @@ import (
 // ErrNotAttached reports Maintain before Attach.
 var ErrNotAttached = errors.New("assoc: incremental miner not attached to a store")
 
+// StoreBinder is implemented by base miners that can reuse the store's
+// shard version stamps across full runs — the Distributed engine, whose
+// workers keep versioned shard replicas. Attach binds such a base to the
+// store, so a border-crossing full re-mine re-ships only the shards an
+// Append/DeleteAt dirtied instead of re-shipping the whole database.
+type StoreBinder interface {
+	BindStore(*transactions.ShardedDB)
+}
+
 // MaintainStats describes the work one Maintain call did.
 type MaintainStats struct {
 	NumShards   int    // shards in the store
@@ -134,6 +143,9 @@ func (inc *Incremental) Attach(store *transactions.ShardedDB, minSupport float64
 	inc.store = store
 	inc.minSupport = minSupport
 	inc.prev = nil
+	if sb, ok := inc.Base.(StoreBinder); ok {
+		sb.BindStore(store)
+	}
 	return inc.Maintain()
 }
 

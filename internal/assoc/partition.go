@@ -47,7 +47,7 @@ func (p *Partition) Name() string {
 func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	n := p.NumPartitions
 	if n < 1 {

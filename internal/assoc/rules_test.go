@@ -203,3 +203,135 @@ func TestDiff(t *testing.T) {
 		t.Errorf("diff empty = %v", got)
 	}
 }
+
+// TestGenerateRulesZeroSupportAntecedent pins the divide-by-zero guard: a
+// (hand-built) Result carrying zero-support itemsets must produce no rules
+// from them — confidence over a zero-support antecedent is undefined, not
+// +Inf — and must not panic.
+func TestGenerateRulesZeroSupportAntecedent(t *testing.T) {
+	res := &Result{
+		MinCount: 0,
+		NumTx:    4,
+		Levels: [][]ItemsetCount{
+			{
+				{Items: transactions.NewItemset(1), Count: 0},
+				{Items: transactions.NewItemset(2), Count: 2},
+			},
+			{
+				{Items: transactions.NewItemset(1, 2), Count: 0},
+			},
+		},
+	}
+	rules, err := GenerateRules(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Antecedent.Equal(transactions.NewItemset(1)) {
+			t.Errorf("rule with zero-support antecedent emitted: %v", r)
+		}
+		if r.Confidence != r.Confidence || r.Confidence > 1e9 { // NaN or Inf
+			t.Errorf("rule confidence degenerate: %v", r)
+		}
+	}
+	// An itemset whose antecedent is missing from the Result entirely is
+	// skipped the same way.
+	res2 := &Result{
+		NumTx: 4,
+		Levels: [][]ItemsetCount{
+			{{Items: transactions.NewItemset(2), Count: 2}},
+			{{Items: transactions.NewItemset(1, 2), Count: 2}},
+		},
+	}
+	rules2, err := GenerateRules(res2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules2 {
+		if r.Antecedent.Equal(transactions.NewItemset(1)) {
+			t.Errorf("rule with untracked antecedent emitted: %v", r)
+		}
+	}
+}
+
+// TestCanonicalStableOnSupportTies pins Canonical's ordering when itemsets
+// tie on support: levels sort lexicographically (support plays no part),
+// so every engine and every repetition emits identical bytes.
+func TestCanonicalStableOnSupportTies(t *testing.T) {
+	// Four items in two tied pairs: {0,1} and {2,3} each appear together
+	// three times, singles all tie at 3.
+	db := transactions.NewDB()
+	for i := 0; i < 3; i++ {
+		if err := db.Add(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var canon string
+	for _, m := range []Miner{&Apriori{}, &Eclat{}, &FPGrowth{}} {
+		var prev string
+		for rep := 0; rep < 3; rep++ {
+			res, err := m.Mine(db, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := string(res.Canonical())
+			if rep > 0 && got != prev {
+				t.Fatalf("%s: Canonical unstable across repetitions", m.Name())
+			}
+			prev = got
+		}
+		if canon == "" {
+			canon = prev
+		} else if prev != canon {
+			t.Fatalf("%s: Canonical diverges across engines on tied supports\n got %q\nwant %q",
+				m.Name(), prev, canon)
+		}
+	}
+	want := "0:3\n1:3\n2:3\n3:3\n0,1:3\n2,3:3\n"
+	if canon != want {
+		t.Fatalf("Canonical = %q, want %q", canon, want)
+	}
+}
+
+// TestRuleOrderStableOnTies pins the rule sort's total order: confidence
+// and support ties fall through to antecedent/consequent comparison, so
+// repeated generation yields the identical slice.
+func TestRuleOrderStableOnTies(t *testing.T) {
+	db := transactions.NewDB()
+	for i := 0; i < 4; i++ {
+		if err := db.Add(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := (&Apriori{}).Mine(db, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := GenerateRules(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("expected tied rules")
+	}
+	for rep := 0; rep < 5; rep++ {
+		again, err := GenerateRules(res, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("rule count changed: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			if again[i].String() != first[i].String() {
+				t.Fatalf("rule order unstable at %d: %v vs %v", i, again[i], first[i])
+			}
+		}
+	}
+}

@@ -29,7 +29,7 @@ func (s *Sampling) Name() string { return "Sampling" }
 func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	frac := s.SampleFraction
 	if frac <= 0 || frac > 1 {

@@ -28,7 +28,7 @@ type setmTuple struct {
 func (s *SETM) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 

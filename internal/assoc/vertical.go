@@ -64,7 +64,7 @@ type eclatNode struct {
 func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
-		return nil, err
+		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 

@@ -318,6 +318,7 @@ func Miners() []assoc.Miner {
 		&assoc.FPGrowth{},
 		&assoc.Sampling{},
 		&assoc.Auto{},
+		&assoc.Distributed{},
 	}
 }
 

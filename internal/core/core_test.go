@@ -154,7 +154,7 @@ func TestDensityAndBirchAdapters(t *testing.T) {
 
 func TestMinersRegistry(t *testing.T) {
 	ms := Miners()
-	if len(ms) != 11 {
+	if len(ms) != 12 {
 		t.Fatalf("miners = %d", len(ms))
 	}
 	m, err := MinerByName("Apriori")
@@ -164,7 +164,7 @@ func TestMinersRegistry(t *testing.T) {
 	if m.Name() != "Apriori" {
 		t.Errorf("Name = %s", m.Name())
 	}
-	for _, name := range []string{"FPGrowth", "Auto"} {
+	for _, name := range []string{"FPGrowth", "Auto", "Distributed"} {
 		if _, err := MinerByName(name); err != nil {
 			t.Errorf("MinerByName(%s): %v", name, err)
 		}

@@ -1,0 +1,238 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fptree"
+	"repro/internal/transactions"
+)
+
+// Stats counts a coordinator's transport traffic — the observable side of
+// the dirty-shard protocol. Tests assert ShippedShards to prove clean
+// shards are never re-shipped, and EXP-P4 reports the totals as the
+// distribution overhead trail.
+type Stats struct {
+	// ShippedShards counts shard snapshots actually moved (new or dirty).
+	ShippedShards int
+	// ShipCalls counts Ship requests (one per worker with dirty shards).
+	ShipCalls int
+	// CountCalls counts scan requests (CountItems/Pairs/Candidates and
+	// BuildTree) across all workers.
+	CountCalls int
+}
+
+// Coordinator owns shard placement and buffer merging: Sync ships shard
+// snapshots to their workers (round-robin by id, re-shipping only versions
+// the worker has not seen), and the Count*/BuildTree methods fan a scan
+// out over every worker holding shards and fold the mergeable replies with
+// plain integer adds (or fptree.Merge), so results are byte-identical to a
+// local scan. A coordinator is not safe for concurrent use; the engines
+// drive it one pass at a time, like every other counting structure here.
+type Coordinator struct {
+	t       Transport
+	assign  map[int]int    // shard id -> worker
+	shipped map[int]uint64 // shard id -> last shipped version
+	current []int          // shard ids of the last Sync, sorted
+	stats   Stats
+}
+
+// NewCoordinator returns a coordinator over t with nothing placed yet.
+func NewCoordinator(t Transport) *Coordinator {
+	return &Coordinator{
+		t:       t,
+		assign:  make(map[int]int),
+		shipped: make(map[int]uint64),
+	}
+}
+
+// Transport returns the transport the coordinator drives.
+func (c *Coordinator) Transport() Transport { return c.t }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// Reset forgets all placement and version state (the traffic counters
+// survive), so the next Sync re-ships everything — required when the
+// underlying database identity changes and shard ids would otherwise
+// collide with stale replicas.
+func (c *Coordinator) Reset() {
+	c.assign = make(map[int]int)
+	c.shipped = make(map[int]uint64)
+	c.current = nil
+}
+
+// Sync makes the workers' replicas match shards: unseen ids are placed
+// round-robin, and exactly the payloads whose version differs from the
+// last shipped one move over the transport. The shard set becomes the
+// scan target of subsequent Count*/BuildTree calls.
+func (c *Coordinator) Sync(shards []ShardPayload) error {
+	n := c.t.NumWorkers()
+	if n < 1 {
+		return ErrNoWorkers
+	}
+	dirty := make(map[int][]ShardPayload)
+	c.current = c.current[:0]
+	for _, sh := range shards {
+		c.current = append(c.current, sh.ID)
+		w, ok := c.assign[sh.ID]
+		if !ok {
+			w = len(c.assign) % n
+			c.assign[sh.ID] = w
+		}
+		if v, ok := c.shipped[sh.ID]; ok && v == sh.Version {
+			continue
+		}
+		dirty[w] = append(dirty[w], sh)
+	}
+	sort.Ints(c.current)
+	// Stats move before the fan-out: the closures below run concurrently
+	// and must not touch shared counters.
+	for _, payloads := range dirty {
+		c.stats.ShipCalls++
+		c.stats.ShippedShards += len(payloads)
+	}
+	if err := c.fanOut(func(w int, ids []int) error {
+		payloads := dirty[w]
+		if len(payloads) == 0 {
+			return nil
+		}
+		return c.t.Call(w, MethodShip, &ShipArgs{Shards: payloads}, &ShipReply{})
+	}); err != nil {
+		return err
+	}
+	for _, payloads := range dirty {
+		for _, sh := range payloads {
+			c.shipped[sh.ID] = sh.Version
+		}
+	}
+	return nil
+}
+
+// perWorker groups the current shard ids by their assigned worker.
+func (c *Coordinator) perWorker() map[int][]int {
+	out := make(map[int][]int)
+	for _, id := range c.current {
+		out[c.assign[id]] = append(out[c.assign[id]], id)
+	}
+	return out
+}
+
+// fanOut runs fn concurrently once per worker with assigned shards (ids
+// sorted, so requests are deterministic) and returns the first error.
+// Sync also routes its ships through here so ship and count traffic share
+// one concurrency shape. fn must not touch coordinator state without its
+// own synchronisation; the callers account stats before spawning.
+func (c *Coordinator) fanOut(fn func(w int, ids []int) error) error {
+	groups := c.perWorker()
+	workers := make([]int, 0, len(groups))
+	for w := range groups {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	errs := make([]error, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			errs[i] = fn(w, groups[w])
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countMerged fans a counting method out and folds the flat reply buffers
+// by elementwise addition into an array of length n.
+func (c *Coordinator) countMerged(n int, method string, argsFor func(ids []int) any) ([]int, error) {
+	out := make([]int, n)
+	c.stats.CountCalls += len(c.perWorker())
+	var mu sync.Mutex
+	if err := c.fanOut(func(w int, ids []int) error {
+		var reply CountsReply
+		if err := c.t.Call(w, method, argsFor(ids), &reply); err != nil {
+			return err
+		}
+		// Reply buffers are wire data; a version-skewed worker must not
+		// crash the merge.
+		if len(reply.Counts) != n {
+			return fmt.Errorf("dist: worker %d: %s reply has %d counters, want %d",
+				w, method, len(reply.Counts), n)
+		}
+		// Merge under a lock: addition is commutative, so arrival order
+		// cannot change the totals.
+		mu.Lock()
+		defer mu.Unlock()
+		for i, v := range reply.Counts {
+			out[i] += v
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountItems runs the distributed pass-1 scan over the synced shards.
+func (c *Coordinator) CountItems(numItems int) ([]int, error) {
+	return c.countMerged(numItems, MethodCountItems, func(ids []int) any {
+		return &CountItemsArgs{ShardIDs: ids, NumItems: numItems}
+	})
+}
+
+// CountPairs runs the distributed triangular pass-2 scan; rank maps item
+// id to L1 rank (-1 for infrequent items) and n is the rank count.
+func (c *Coordinator) CountPairs(rank []int, n int) ([]int, error) {
+	return c.countMerged(n*(n-1)/2, MethodCountPairs, func(ids []int) any {
+		return &CountPairsArgs{ShardIDs: ids, Rank: rank, N: n}
+	})
+}
+
+// CountCandidates runs a distributed pass-k (k >= 3) scan; the returned
+// counts are indexed like cands because every worker rebuilds the hash
+// tree in the same insertion order.
+func (c *Coordinator) CountCandidates(k, fanout, maxLeaf int, cands []transactions.Itemset) ([]int, error) {
+	return c.countMerged(len(cands), MethodCountCandidates, func(ids []int) any {
+		return &CountCandidatesArgs{ShardIDs: ids, K: k, Fanout: fanout, MaxLeaf: maxLeaf, Candidates: cands}
+	})
+}
+
+// BuildTree has every worker build an FP-tree over its shards and merges
+// the imported trees path-wise — counts bit-identical to one local build,
+// by the same commutativity the per-shard parallel builds rely on.
+func (c *Coordinator) BuildTree(r *fptree.Ranks) (*fptree.Tree, error) {
+	var mu sync.Mutex
+	var global *fptree.Tree
+	c.stats.CountCalls += len(c.perWorker())
+	if err := c.fanOut(func(w int, ids []int) error {
+		var reply TreeReply
+		if err := c.t.Call(w, MethodBuildTree, &BuildTreeArgs{ShardIDs: ids, Ranks: r}, &reply); err != nil {
+			return err
+		}
+		t, err := fptree.Import(r, reply.Nodes)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if global == nil {
+			global = t
+		} else {
+			global.Merge(t)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if global == nil {
+		global = fptree.New(r)
+	}
+	return global, nil
+}

@@ -1,0 +1,179 @@
+// Package dist is the distributed counting backend: a coordinator ships
+// transactions.ShardedDB shard snapshots to workers over a pluggable
+// Transport, workers run the repo's per-shard counting structures (flat
+// pass-1 item arrays, the triangular pass-2 pair array, hash-tree count
+// buffers for candidate lengths >= 3, and per-shard FP-tree builds) and
+// return serialized mergeable buffers, and the coordinator folds the
+// buffers together with the same commutative integer adds the parallel and
+// incremental engines use locally.
+//
+// The transport/merge contract, stated once:
+//
+//   - Shards tile the database: every live transaction belongs to exactly
+//     one shipped shard, so summed per-shard counts are exact supports.
+//   - Every reply is a mergeable buffer — a flat integer array (or an
+//     fptree node pool) whose merge is elementwise addition (or path-wise
+//     tree merge), both commutative and associative. Worker count, shard
+//     placement and merge order therefore cannot change a single count,
+//     and distributed results are byte-identical to local runs.
+//   - Shards are version-stamped. A worker keeps its replica until the
+//     coordinator ships a newer version, and the coordinator re-ships only
+//     shards whose version changed — the dirty-shard maintenance protocol
+//     of the incremental engine, carried across the network boundary.
+//
+// Two transports are provided: LocalTransport runs workers as in-process
+// goroutines fed by channels (tests and single-binary use; optionally gob
+// round-tripping every message so serialization cost is real), and
+// RPCTransport speaks net/rpc's gob codec to remote worker processes
+// (ServeWorker is the listening side). internal/assoc's Distributed miner
+// is the engine built on top of this package.
+package dist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fptree"
+	"repro/internal/transactions"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNoShard reports a count request for a shard id the worker holds no
+	// replica of — the coordinator's Sync and the request disagree.
+	ErrNoShard = errors.New("dist: worker holds no replica of requested shard")
+	// ErrBadMethod reports an unknown transport method name.
+	ErrBadMethod = errors.New("dist: unknown transport method")
+	// ErrClosed reports a call through a closed transport.
+	ErrClosed = errors.New("dist: transport is closed")
+	// ErrNoWorkers reports a transport with no workers to place shards on.
+	ErrNoWorkers = errors.New("dist: transport has no workers")
+)
+
+// Transport method names, the vocabulary every Transport must route. They
+// double as the net/rpc method names under the "Worker" service.
+const (
+	MethodShip            = "Ship"
+	MethodCountItems      = "CountItems"
+	MethodCountPairs      = "CountPairs"
+	MethodCountCandidates = "CountCandidates"
+	MethodBuildTree       = "BuildTree"
+)
+
+// ShardPayload is one shard snapshot on the wire: the shard's id, its
+// version stamp at shipping time, and its live transactions.
+type ShardPayload struct {
+	ID      int
+	Version uint64
+	Txs     []transactions.Itemset
+}
+
+// ShipArgs delivers shard replicas to a worker; newer versions replace
+// older replicas of the same id.
+type ShipArgs struct {
+	Shards []ShardPayload
+}
+
+// ShipReply acknowledges a Ship.
+type ShipReply struct{}
+
+// CountItemsArgs requests the pass-1 scan: per-item transaction-occurrence
+// counts over the listed shard replicas, into a flat array of NumItems.
+type CountItemsArgs struct {
+	ShardIDs []int
+	NumItems int
+}
+
+// CountsReply carries one worker's merged flat count buffer; the
+// coordinator folds replies together by elementwise addition.
+type CountsReply struct {
+	Counts []int
+}
+
+// CountPairsArgs requests the pass-2 scan: the triangular pair array over
+// L1 ranks. Rank maps item id to rank (-1 marks infrequent items) and N is
+// the rank count, so the reply has N*(N-1)/2 counters.
+type CountPairsArgs struct {
+	ShardIDs []int
+	Rank     []int
+	N        int
+}
+
+// CountCandidatesArgs requests a pass-k (k >= 3) scan: the worker builds a
+// candidate hash tree with exactly these parameters and insertion order, so
+// entry ids equal candidate indices, and counts the listed shards into one
+// buffer. Dedup tids are request-local scan offsets — distinct per
+// transaction, which is all the hash tree's double-count guard needs.
+type CountCandidatesArgs struct {
+	ShardIDs   []int
+	K          int
+	Fanout     int
+	MaxLeaf    int
+	Candidates []transactions.Itemset
+}
+
+// BuildTreeArgs requests a pattern-growth build: one FP-tree over the
+// listed shards under the shared rank table, returned as an exported node
+// pool for the coordinator to import and merge.
+type BuildTreeArgs struct {
+	ShardIDs []int
+	Ranks    *fptree.Ranks
+}
+
+// TreeReply carries one worker's serialized FP-tree.
+type TreeReply struct {
+	Nodes []fptree.EncodedNode
+}
+
+// Transport carries coordinator requests to workers. Call invokes a
+// Method* on worker w (args and reply follow net/rpc conventions: args may
+// be a value or pointer, reply must be a pointer) and blocks until the
+// reply is filled. Calls to distinct workers may run concurrently; the
+// coordinator never issues concurrent calls to one worker.
+type Transport interface {
+	// NumWorkers returns how many workers the transport reaches.
+	NumWorkers() int
+	// Call invokes method on worker w.
+	Call(w int, method string, args, reply any) error
+	// Close releases the transport; subsequent calls fail with ErrClosed.
+	Close() error
+}
+
+// dispatch routes one decoded call to the worker's typed methods. It is
+// shared by LocalTransport (directly) and ServeWorker (net/rpc routes by
+// method name instead, but the names match by construction).
+func dispatch(w *Worker, method string, args, reply any) error {
+	switch method {
+	case MethodShip:
+		return w.Ship(*args.(*ShipArgs), reply.(*ShipReply))
+	case MethodCountItems:
+		return w.CountItems(*args.(*CountItemsArgs), reply.(*CountsReply))
+	case MethodCountPairs:
+		return w.CountPairs(*args.(*CountPairsArgs), reply.(*CountsReply))
+	case MethodCountCandidates:
+		return w.CountCandidates(*args.(*CountCandidatesArgs), reply.(*CountsReply))
+	case MethodBuildTree:
+		return w.BuildTree(*args.(*BuildTreeArgs), reply.(*TreeReply))
+	default:
+		return fmt.Errorf("%w: %q", ErrBadMethod, method)
+	}
+}
+
+// message returns fresh zero-valued args and reply instances for a method,
+// the decode targets of LocalTransport's gob round-trip mode.
+func message(method string) (args, reply any, err error) {
+	switch method {
+	case MethodShip:
+		return new(ShipArgs), new(ShipReply), nil
+	case MethodCountItems:
+		return new(CountItemsArgs), new(CountsReply), nil
+	case MethodCountPairs:
+		return new(CountPairsArgs), new(CountsReply), nil
+	case MethodCountCandidates:
+		return new(CountCandidatesArgs), new(CountsReply), nil
+	case MethodBuildTree:
+		return new(BuildTreeArgs), new(TreeReply), nil
+	default:
+		return nil, nil, fmt.Errorf("%w: %q", ErrBadMethod, method)
+	}
+}

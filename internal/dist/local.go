@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+)
+
+// localCall is one request on a worker's channel.
+type localCall struct {
+	method string
+	args   any
+	reply  any
+	done   chan error
+}
+
+// LocalTransport runs workers as in-process goroutines, one per worker,
+// each serving calls from its own channel — the tests/single-binary
+// transport. With Encode set every argument and reply makes a gob round
+// trip through fresh message values, so the bytes moved (and the
+// serialization cost EXP-P4 measures) are exactly what RPCTransport would
+// move; without it, payloads pass by reference with zero copies.
+type LocalTransport struct {
+	// Encode turns on the gob round trip per call.
+	Encode bool
+
+	workers []*Worker
+	calls   []chan localCall
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewLocalTransport starts n in-process workers (n < 1 is treated as 1).
+// encode selects the gob round-trip mode.
+func NewLocalTransport(n int, encode bool) *LocalTransport {
+	if n < 1 {
+		n = 1
+	}
+	t := &LocalTransport{Encode: encode}
+	for i := 0; i < n; i++ {
+		w := NewWorker()
+		ch := make(chan localCall)
+		t.workers = append(t.workers, w)
+		t.calls = append(t.calls, ch)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for c := range ch {
+				c.done <- dispatch(w, c.method, c.args, c.reply)
+			}
+		}()
+	}
+	return t
+}
+
+// NumWorkers implements Transport.
+func (t *LocalTransport) NumWorkers() int { return len(t.workers) }
+
+// Call implements Transport. In encode mode the args are gob-encoded and
+// decoded into a fresh message before the worker sees them, and the reply
+// makes the reverse trip, so no memory is shared across the "wire".
+func (t *LocalTransport) Call(w int, method string, args, reply any) error {
+	c := localCall{method: method, args: args, reply: reply, done: make(chan error, 1)}
+	if t.Encode {
+		wireArgs, wireReply, err := message(method)
+		if err != nil {
+			return err
+		}
+		if err := gobRoundTrip(args, wireArgs); err != nil {
+			return err
+		}
+		c.args, c.reply = wireArgs, wireReply
+	}
+	// The read lock held across the send keeps Close from closing the
+	// channel mid-send while still letting fan-out calls to distinct
+	// workers proceed concurrently.
+	t.mu.RLock()
+	if t.closed {
+		t.mu.RUnlock()
+		return ErrClosed
+	}
+	t.calls[w] <- c
+	t.mu.RUnlock()
+	if err := <-c.done; err != nil {
+		return err
+	}
+	if t.Encode {
+		return gobRoundTrip(c.reply, reply)
+	}
+	return nil
+}
+
+// Close implements Transport: it stops the worker goroutines and waits for
+// in-flight calls to drain.
+func (t *LocalTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ch := range t.calls {
+		close(ch)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// gobRoundTrip encodes src and decodes the bytes into dst — the
+// serialization leg of the local transport's encode mode.
+func gobRoundTrip(src, dst any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(src); err != nil {
+		return err
+	}
+	return gob.NewDecoder(&buf).Decode(dst)
+}

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"net"
+	"net/rpc"
+)
+
+// workerService is the net/rpc name workers register under; Transport
+// method names append to it.
+const workerService = "Worker"
+
+// ServeWorker registers w as the "Worker" net/rpc service and serves
+// connections from l (gob codec, one goroutine per connection) until the
+// listener closes, whose error it returns. It is the remote side of
+// RPCTransport; a worker process is just
+//
+//	l, _ := net.Listen("tcp", addr)
+//	dist.ServeWorker(l, dist.NewWorker())
+func ServeWorker(l net.Listener, w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(workerService, w); err != nil {
+		return err
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// RPCTransport reaches worker processes over net/rpc's gob codec — the
+// real-deployment transport. One persistent connection per worker; calls
+// to distinct workers run concurrently on their own connections.
+type RPCTransport struct {
+	clients []*rpc.Client
+}
+
+// DialRPC connects to one worker per address ("host:port", TCP). On any
+// dial failure the already-open connections are closed and the error is
+// returned.
+func DialRPC(addrs []string) (*RPCTransport, error) {
+	t := &RPCTransport{}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.clients = append(t.clients, c)
+	}
+	return t, nil
+}
+
+// NumWorkers implements Transport.
+func (t *RPCTransport) NumWorkers() int { return len(t.clients) }
+
+// Call implements Transport. A closed transport returns ErrClosed like
+// the local one, instead of panicking on the nil client slice.
+func (t *RPCTransport) Call(w int, method string, args, reply any) error {
+	if w < 0 || w >= len(t.clients) {
+		return ErrClosed
+	}
+	return t.clients[w].Call(workerService+"."+method, args, reply)
+}
+
+// Close implements Transport, closing every connection and returning the
+// first error.
+func (t *RPCTransport) Close() error {
+	var first error
+	for _, c := range t.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.clients = nil
+	return first
+}

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fptree"
+	"repro/internal/hashtree"
+)
+
+// Worker is the counting side of the backend: it keeps version-stamped
+// shard replicas and answers count requests by scanning them into the
+// repo's per-shard counting structures, returning mergeable buffers. The
+// method signatures follow net/rpc conventions so one implementation
+// serves both transports.
+//
+// A worker is safe for concurrent calls (net/rpc may interleave them), but
+// the coordinator's protocol never counts a shard while re-shipping it, so
+// the lock only guards the replica map, not the scans.
+type Worker struct {
+	mu     sync.Mutex
+	shards map[int]ShardPayload
+}
+
+// NewWorker returns a worker with no replicas. Every exported method is
+// net/rpc-shaped; adding a non-RPC exported method would make rpc.Register
+// log a complaint on every worker startup.
+func NewWorker() *Worker {
+	return &Worker{shards: make(map[int]ShardPayload)}
+}
+
+// Ship installs (or replaces) shard replicas.
+func (w *Worker) Ship(args ShipArgs, reply *ShipReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, sh := range args.Shards {
+		w.shards[sh.ID] = sh
+	}
+	return nil
+}
+
+// replicas resolves the requested shard ids under the lock, so scans run
+// on a consistent snapshot of the replica map.
+func (w *Worker) replicas(ids []int) ([]ShardPayload, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]ShardPayload, 0, len(ids))
+	for _, id := range ids {
+		sh, ok := w.shards[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoShard, id)
+		}
+		out = append(out, sh)
+	}
+	return out, nil
+}
+
+// CountItems runs the pass-1 scan over the requested replicas.
+func (w *Worker) CountItems(args CountItemsArgs, reply *CountsReply) error {
+	shards, err := w.replicas(args.ShardIDs)
+	if err != nil {
+		return err
+	}
+	counts := make([]int, args.NumItems)
+	for _, sh := range shards {
+		for _, tx := range sh.Txs {
+			for _, item := range tx {
+				if item < 0 || item >= args.NumItems {
+					return fmt.Errorf("dist: shard %d: item %d outside universe %d", sh.ID, item, args.NumItems)
+				}
+				counts[item]++
+			}
+		}
+	}
+	reply.Counts = counts
+	return nil
+}
+
+// CountPairs runs the triangular pass-2 scan over the requested replicas,
+// the same arithmetic as the local engine's countTriangle.
+func (w *Worker) CountPairs(args CountPairsArgs, reply *CountsReply) error {
+	shards, err := w.replicas(args.ShardIDs)
+	if err != nil {
+		return err
+	}
+	n := args.N
+	counts := make([]int, n*(n-1)/2)
+	tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
+	ranks := make([]int, 0, 64)
+	for _, sh := range shards {
+		for _, tx := range sh.Txs {
+			ranks = ranks[:0]
+			for _, item := range tx {
+				if item < len(args.Rank) && args.Rank[item] >= 0 {
+					ranks = append(ranks, args.Rank[item])
+				}
+			}
+			for a := 0; a < len(ranks); a++ {
+				for b := a + 1; b < len(ranks); b++ {
+					counts[tri(ranks[a], ranks[b])]++
+				}
+			}
+		}
+	}
+	reply.Counts = counts
+	return nil
+}
+
+// CountCandidates rebuilds the request's candidate hash tree (identical
+// parameters and insertion order make entry ids equal candidate indices)
+// and counts the replicas into one private buffer. Scan offsets serve as
+// dedup tids; they only need to be distinct within this one scan.
+func (w *Worker) CountCandidates(args CountCandidatesArgs, reply *CountsReply) error {
+	shards, err := w.replicas(args.ShardIDs)
+	if err != nil {
+		return err
+	}
+	tree, err := hashtree.NewWithParams(args.K, args.Fanout, args.MaxLeaf)
+	if err != nil {
+		return err
+	}
+	for _, c := range args.Candidates {
+		if _, err := tree.Insert(c); err != nil {
+			return err
+		}
+	}
+	buf := tree.NewCountBuffer()
+	tid := 0
+	for _, sh := range shards {
+		for _, tx := range sh.Txs {
+			tree.CountTransactionInto(tx, tid, buf)
+			tid++
+		}
+	}
+	reply.Counts = buf.Counts
+	return nil
+}
+
+// BuildTree builds one FP-tree over the requested replicas under the
+// shared rank table and returns its exported node pool. Building all
+// shards into one tree equals building per shard and merging — the
+// package's commutative-add contract.
+func (w *Worker) BuildTree(args BuildTreeArgs, reply *TreeReply) error {
+	shards, err := w.replicas(args.ShardIDs)
+	if err != nil {
+		return err
+	}
+	tree := fptree.New(args.Ranks)
+	var buf []int32
+	for _, sh := range shards {
+		for _, tx := range sh.Txs {
+			buf = tree.AddTransaction(tx, buf)
+		}
+	}
+	reply.Nodes = tree.Export()
+	return nil
+}

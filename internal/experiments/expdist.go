@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/assoc"
+	"repro/internal/dist"
+)
+
+// DistWorkerCounts is the worker ladder the EXP-P4 sweep runs; cmd/dmbench
+// narrows it to one count with -distworkers.
+var DistWorkerCounts = []int{1, 2, 4}
+
+// p4Engines lists the distributed engine strategies the sweep compares,
+// each against its local reference miner.
+func p4Engines() []struct {
+	Engine string
+	Local  assoc.Miner
+} {
+	return []struct {
+		Engine string
+		Local  assoc.Miner
+	}{
+		{assoc.DistEngineApriori, &assoc.Apriori{}},
+		{assoc.DistEngineFPGrowth, &assoc.FPGrowth{}},
+	}
+}
+
+// DistRun is one timed (engine, workers) configuration of EXP-P4.
+type DistRun struct {
+	Engine  string  `json:"engine"`
+	Workers int     `json:"workers"`
+	Millis  float64 `json:"ms"`
+	// LocalMillis is the matching local engine's best-of-three time.
+	LocalMillis float64 `json:"local_ms"`
+	// Overhead is Millis / LocalMillis: what shipping shards through the
+	// gob transport and merging serialized buffers costs over counting in
+	// place. On a single-CPU host it is all cost; on a multi-core host the
+	// fan-out claws it back.
+	Overhead float64 `json:"overhead"`
+	// ShippedShards / ShipCalls / CountCalls are the coordinator's traffic
+	// counters for one Mine run (plain-DB traffic is deterministic per
+	// run, so the accumulated best-of sweep divides down exactly).
+	ShippedShards int `json:"shipped_shards"`
+	ShipCalls     int `json:"ship_calls"`
+	CountCalls    int `json:"count_calls"`
+	AllocStats
+}
+
+// DistBaseline is the machine-readable output of EXP-P4, persisted as
+// BENCH_dist.json: the distributed-vs-local overhead trajectory across the
+// worker ladder, with allocations and transport traffic recorded alongside
+// wall-clock.
+type DistBaseline struct {
+	Fixture    string    `json:"fixture"`
+	MinSupport float64   `json:"minsup"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"numcpu"`
+	Runs       []DistRun `json:"runs"`
+	Note       string    `json:"note,omitempty"`
+}
+
+// MeasureDistBaseline runs the EXP-P4 sweep: each distributed engine at
+// every worker count over the in-process gob transport (so serialization
+// is paid exactly as the RPC transport would pay it), best-of-three
+// against the local reference, with a byte-identity cross-check on every
+// measured run.
+func MeasureDistBaseline(s Scale) (*DistBaseline, error) {
+	db, fixture, err := p1Fixture(s)
+	if err != nil {
+		return nil, err
+	}
+	base := &DistBaseline{
+		Fixture:    fixture,
+		MinSupport: p1MinSup,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, eng := range p4Engines() {
+		localRes, localD, _, err := bestOf(eng.Local, db, p1MinSup)
+		if err != nil {
+			return nil, err
+		}
+		localMS := float64(localD.Microseconds()) / 1000.0
+		want := string(localRes.Canonical())
+		for _, workers := range DistWorkerCounts {
+			d := &assoc.Distributed{
+				Transport: dist.NewLocalTransport(workers, true),
+				Workers:   workers,
+				Engine:    eng.Engine,
+			}
+			res, dur, alloc, err := bestOf(d, db, p1MinSup)
+			// The counters accumulated over all bestOf runs; each run of a
+			// plain-DB mine ships and counts identically, so dividing
+			// recovers the per-run traffic exactly.
+			stats := d.Coordinator().Stats()
+			stats.ShippedShards /= bestOfRuns
+			stats.ShipCalls /= bestOfRuns
+			stats.CountCalls /= bestOfRuns
+			d.Close()
+			if err != nil {
+				return nil, err
+			}
+			if got := string(res.Canonical()); got != want {
+				return nil, fmt.Errorf("EXP-P4: distributed %s at %d workers diverges from local run",
+					eng.Engine, workers)
+			}
+			msVal := float64(dur.Microseconds()) / 1000.0
+			overhead := 0.0
+			if localMS > 0 {
+				overhead = msVal / localMS
+			}
+			base.Runs = append(base.Runs, DistRun{
+				Engine: eng.Engine, Workers: workers,
+				Millis: msVal, LocalMillis: localMS, Overhead: overhead,
+				ShippedShards: stats.ShippedShards, ShipCalls: stats.ShipCalls,
+				CountCalls: stats.CountCalls, AllocStats: alloc,
+			})
+		}
+	}
+	base.Note = "overhead is distributed time over the local engine's time (gob in-process transport; " +
+		"every run byte-identity-checked against the local result)"
+	if base.GOMAXPROCS < 2 {
+		base.Note += "; measured on a single-CPU host, so the fan-out cannot repay the serialization cost here"
+	}
+	return base, nil
+}
+
+// WriteDistBaseline emits the EXP-P4 baseline as indented JSON.
+func WriteDistBaseline(w io.Writer, s Scale) error {
+	base, err := MeasureDistBaseline(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// RunP4 prints the distributed overhead sweep as a table: each engine at
+// each worker count with wall-clock, overhead over local, transport
+// traffic and allocations.
+func RunP4(w io.Writer, s Scale) error {
+	header(w, "P4", "distributed mining: serialization and merge overhead vs local")
+	base, err := MeasureDistBaseline(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s at minsup %.4f (GOMAXPROCS=%d)\n", base.Fixture, base.MinSupport, base.GOMAXPROCS)
+	fmt.Fprintf(w, "%-12s%8s%10s%12s%10s%10s%10s%12s%12s\n",
+		"engine", "workers", "ms", "local ms", "overhead", "shipped", "calls", "alloc MB", "allocs")
+	for _, r := range base.Runs {
+		fmt.Fprintf(w, "%-12s%8d%10.1f%12.1f%10.2f%10d%10d%12.1f%12d\n",
+			r.Engine, r.Workers, r.Millis, r.LocalMillis, r.Overhead,
+			r.ShippedShards, r.ShipCalls+r.CountCalls, float64(r.Bytes)/1e6, r.Allocs)
+	}
+	if base.Note != "" {
+		fmt.Fprintf(w, "\nnote: %s\n", base.Note)
+	}
+	return nil
+}

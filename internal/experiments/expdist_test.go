@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestDistBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteDistBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base DistBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.MinSupport <= 0 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	want := len(p4Engines()) * len(DistWorkerCounts)
+	if len(base.Runs) != want {
+		t.Fatalf("runs = %d, want %d", len(base.Runs), want)
+	}
+	for _, r := range base.Runs {
+		if r.Millis <= 0 || r.LocalMillis <= 0 || r.Overhead <= 0 {
+			t.Errorf("%s/%d: non-positive timing: %+v", r.Engine, r.Workers, r)
+		}
+		if r.ShippedShards < r.Workers && r.ShippedShards < 1 {
+			t.Errorf("%s/%d: no shards shipped", r.Engine, r.Workers)
+		}
+		if r.CountCalls < 1 {
+			t.Errorf("%s/%d: no count calls recorded", r.Engine, r.Workers)
+		}
+		if r.Allocs == 0 {
+			t.Errorf("%s/%d: missing alloc stats", r.Engine, r.Workers)
+		}
+	}
+}
+
+func TestRunP4PrintsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := RunP4(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXP-P4", "overhead", "Apriori", "FPGrowth"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,10 +6,12 @@
 // engine-trajectory experiments additionally persist machine-readable
 // baselines: EXP-P1 writes BENCH_parallel.json (count-distribution scaling
 // and Eclat layouts), EXP-P2 writes BENCH_incremental.json (dirty-shard
-// maintenance vs full re-mining), and EXP-P3 writes BENCH_fpgrowth.json
-// (pattern growth vs candidate generation across a support ladder). Every
-// baseline records heap allocations (alloc_bytes, allocs) alongside
-// wall-clock so memory regressions show up in the trajectory too.
+// maintenance vs full re-mining), EXP-P3 writes BENCH_fpgrowth.json
+// (pattern growth vs candidate generation across a support ladder), and
+// EXP-P4 writes BENCH_dist.json (distributed shard-shipping overhead vs
+// local counting, with transport traffic counters). Every baseline records
+// heap allocations (alloc_bytes, allocs) alongside wall-clock so memory
+// regressions show up in the trajectory too.
 package experiments
 
 import (
@@ -65,6 +67,7 @@ func All() []Experiment {
 		{ID: "P1", Title: "Parallel count-distribution scaling and Eclat layouts", Run: RunP1},
 		{ID: "P2", Title: "Incremental maintenance: dirty-shard re-count vs full re-mine", Run: RunP2},
 		{ID: "P3", Title: "Pattern growth (FP-growth) vs candidate generation across supports", Run: RunP3},
+		{ID: "P4", Title: "Distributed mining: serialization and merge overhead vs local", Run: RunP4},
 	}
 }
 

@@ -27,6 +27,7 @@
 package fptree
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/transactions"
@@ -244,6 +245,77 @@ func (t *Tree) mergeChildren(dst, src int32, o *Tree) {
 		d := t.step(dst, rk, cnt)
 		t.mergeChildren(d, c, o)
 	}
+}
+
+// EncodedNode is the wire form of one FP-tree node for the distributed
+// backend (internal/dist): the node's item rank, the pool index of its
+// parent, and its transaction count. Child, sibling and header-chain links
+// are structural and are rebuilt by Import, so a serialized tree is just
+// the flat node pool.
+type EncodedNode struct {
+	Rank   int32
+	Parent int32
+	Count  int
+}
+
+// Export serializes the tree's item nodes in pool order (the root is
+// implicit). Nodes are appended to the pool as paths are inserted, so a
+// parent always precedes its children; Import relies on that to rebuild
+// links in one forward pass.
+func (t *Tree) Export() []EncodedNode {
+	out := make([]EncodedNode, 0, len(t.nodes)-1)
+	for _, n := range t.nodes[1:] {
+		out = append(out, EncodedNode{Rank: n.rank, Parent: n.parent, Count: n.count})
+	}
+	return out
+}
+
+// Import rebuilds a tree from Export's node list under the shared rank
+// table. Node counts, header totals and the present-rank set are identical
+// to the exported tree's; sibling and header-chain order may differ, which
+// mining never observes — pattern counts are sums over whole chains and
+// merges are commutative. Malformed wire data (out-of-range rank or a
+// parent that does not precede its child) returns an error instead of
+// corrupting the pool.
+func Import(r *Ranks, nodes []EncodedNode) (*Tree, error) {
+	t := New(r)
+	if cap(t.nodes) < len(nodes)+1 {
+		grown := make([]node, 1, len(nodes)+1)
+		grown[0] = t.nodes[0]
+		t.nodes = grown
+	}
+	for i, en := range nodes {
+		idx := int32(len(t.nodes))
+		if en.Rank < 0 || int(en.Rank) >= r.Len() {
+			return nil, fmt.Errorf("fptree: import node %d: rank %d outside universe %d", i, en.Rank, r.Len())
+		}
+		if en.Parent < 0 || en.Parent >= idx {
+			return nil, fmt.Errorf("fptree: import node %d: parent %d does not precede it", i, en.Parent)
+		}
+		// Every exported node carries at least one transaction; zero or
+		// negative wire counts would corrupt the first-touch present set
+		// and the totals.
+		if en.Count <= 0 {
+			return nil, fmt.Errorf("fptree: import node %d: non-positive count %d", i, en.Count)
+		}
+		t.nodes = append(t.nodes, node{
+			rank:    en.Rank,
+			parent:  en.Parent,
+			sibling: t.nodes[en.Parent].child,
+			next:    t.heads[en.Rank],
+			count:   en.Count,
+		})
+		t.nodes[en.Parent].child = idx
+		t.heads[en.Rank] = idx
+		if en.Parent == 0 {
+			t.rootIdx[en.Rank] = idx
+		}
+		if t.totals[en.Rank] == 0 {
+			t.present = append(t.present, en.Rank)
+		}
+		t.totals[en.Rank] += en.Count
+	}
+	return t, nil
 }
 
 // Scratch pools the buffers conditional projection and single-path

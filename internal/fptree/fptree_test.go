@@ -266,3 +266,95 @@ func TestAddTransactionIgnoresInfrequentAndOutOfRange(t *testing.T) {
 		t.Fatalf("NumNodes = %d, want 2 (shared prefix)", tree.NumNodes())
 	}
 }
+
+func TestExportImportRoundTrip(t *testing.T) {
+	txs := paperTxs()
+	r := NewRanks(countItems(txs, 10), 2)
+	tree := Build(txs, r)
+	imported, err := Import(r, tree.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.NumNodes() != tree.NumNodes() {
+		t.Fatalf("nodes = %d, want %d", imported.NumNodes(), tree.NumNodes())
+	}
+	for rk := int32(0); int(rk) < r.Len(); rk++ {
+		if imported.Total(rk) != tree.Total(rk) {
+			t.Errorf("total(rank %d) = %d, want %d", rk, imported.Total(rk), tree.Total(rk))
+		}
+	}
+	if !reflect.DeepEqual(imported.Present(), tree.Present()) {
+		t.Errorf("present = %v, want %v", imported.Present(), tree.Present())
+	}
+	// Projection counts survive the round trip: same conditional supports
+	// for every rank even though chain orders may differ.
+	s1, s2 := NewScratch(r), NewScratch(r)
+	for rk := int32(0); int(rk) < r.Len(); rk++ {
+		a := tree.Project(rk, 2, s1)
+		b := imported.Project(rk, 2, s2)
+		for p := int32(0); int(p) < r.Len(); p++ {
+			if a.Total(p) != b.Total(p) {
+				t.Errorf("project(%d) total(%d) = %d, want %d", rk, p, b.Total(p), a.Total(p))
+			}
+		}
+		s1.Release(a)
+		s2.Release(b)
+	}
+}
+
+func TestImportRandomizedEqualsMergedBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		var txs []transactions.Itemset
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			m := 1 + rng.Intn(6)
+			items := make([]int, m)
+			for j := range items {
+				items[j] = rng.Intn(12)
+			}
+			txs = append(txs, transactions.NewItemset(items...))
+		}
+		r := NewRanks(countItems(txs, 12), 2)
+		whole := Build(txs, r)
+		// Split, build per part, export/import each, merge — the
+		// distributed build path — and compare totals and node counts.
+		cut := rng.Intn(len(txs))
+		a, err := Import(r, Build(txs[:cut], r).Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Import(r, Build(txs[cut:], r).Export())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Merge(b)
+		if a.NumNodes() != whole.NumNodes() {
+			t.Fatalf("trial %d: nodes = %d, want %d", trial, a.NumNodes(), whole.NumNodes())
+		}
+		for rk := int32(0); int(rk) < r.Len(); rk++ {
+			if a.Total(rk) != whole.Total(rk) {
+				t.Fatalf("trial %d: total(%d) = %d, want %d", trial, rk, a.Total(rk), whole.Total(rk))
+			}
+		}
+	}
+}
+
+func TestImportRejectsMalformedNodes(t *testing.T) {
+	r := NewRanks([]int{5, 5}, 2)
+	if _, err := Import(r, []EncodedNode{{Rank: 9, Parent: 0, Count: 1}}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := Import(r, []EncodedNode{{Rank: 0, Parent: 5, Count: 1}}); err == nil {
+		t.Error("forward parent reference accepted")
+	}
+	if _, err := Import(r, []EncodedNode{{Rank: 0, Parent: -1, Count: 1}}); err == nil {
+		t.Error("negative parent accepted")
+	}
+	if _, err := Import(r, []EncodedNode{{Rank: 0, Parent: 0, Count: 0}}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Import(r, []EncodedNode{{Rank: 0, Parent: 0, Count: -3}}); err == nil {
+		t.Error("negative count accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package transactions
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -298,6 +299,165 @@ func TestShardedDBToVerticalBitset(t *testing.T) {
 		for tid := 0; tid < s.Len(); tid++ {
 			if gotBits.Has(tid) != wantBits.Has(tid) {
 				t.Fatalf("item %d tid %d: concat=%v whole=%v", item, tid, gotBits.Has(tid), wantBits.Has(tid))
+			}
+		}
+	}
+}
+
+// TestShardedDBRandomizedDeleteToEmpty is the DeleteAt compaction audit:
+// randomized interleavings of appends and deletes — biased towards
+// deleting tail elements and draining shards to empty — are verified
+// against a plain-slice reference model after every mutation (Snapshot
+// contents, live length, shard-length bookkeeping) with per-shard version
+// stamps checked to move exactly on the mutated shard.
+func TestShardedDBRandomizedDeleteToEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 30; trial++ {
+		s := NewShardedDB(64)
+		var model []Itemset
+
+		checkState := func(step string) {
+			t.Helper()
+			if s.Len() != len(model) {
+				t.Fatalf("trial %d %s: Len = %d, want %d", trial, step, s.Len(), len(model))
+			}
+			snap := s.Snapshot()
+			if len(snap.Transactions) != len(model) {
+				t.Fatalf("trial %d %s: snapshot len = %d, want %d", trial, step, len(snap.Transactions), len(model))
+			}
+			for i, tx := range model {
+				if !snap.Transactions[i].Equal(tx) {
+					t.Fatalf("trial %d %s: snapshot[%d] = %v, want %v", trial, step, i, snap.Transactions[i], tx)
+				}
+			}
+			total := 0
+			for i := 0; i < s.NumShards(); i++ {
+				view, _ := s.ShardView(i)
+				if view.Base != total {
+					t.Fatalf("trial %d %s: shard %d base = %d, want %d", trial, step, i, view.Base, total)
+				}
+				total += len(view.Transactions)
+			}
+			if total != s.Len() {
+				t.Fatalf("trial %d %s: shard lengths sum to %d, want %d", trial, step, total, s.Len())
+			}
+		}
+
+		versions := func() []uint64 {
+			out := make([]uint64, s.NumShards())
+			for i := range out {
+				out[i] = s.Version(i)
+			}
+			return out
+		}
+
+		for step := 0; step < 200; step++ {
+			before := versions()
+			// Bias towards deletes so shards drain to empty regularly, and
+			// towards the tail so "last element of the tail shard" is hit.
+			del := s.Len() > 0 && rng.Intn(3) != 0
+			if del {
+				tid := rng.Intn(s.Len())
+				if rng.Intn(2) == 0 {
+					tid = s.Len() - 1
+				}
+				got, err := s.DeleteAt(tid)
+				if err != nil {
+					t.Fatalf("trial %d: DeleteAt(%d): %v", trial, tid, err)
+				}
+				if !got.Equal(model[tid]) {
+					t.Fatalf("trial %d: DeleteAt(%d) = %v, want %v", trial, tid, got, model[tid])
+				}
+				model = append(model[:tid:tid], model[tid+1:]...)
+			} else {
+				n := rng.Intn(4)
+				items := make([]int, n)
+				for j := range items {
+					items[j] = rng.Intn(10)
+				}
+				if err := s.Append(items...); err != nil {
+					t.Fatalf("trial %d: Append: %v", trial, err)
+				}
+				model = append(model, NewItemset(items...))
+			}
+			checkState("mutate")
+			// Exactly one shard's version may have moved (a fresh tail
+			// shard appears with its own first bump).
+			after := versions()
+			bumps := 0
+			for i := range before {
+				if after[i] != before[i] {
+					bumps++
+				}
+			}
+			if len(after) > len(before) {
+				bumps += len(after) - len(before)
+			}
+			if bumps != 1 {
+				t.Fatalf("trial %d: %d shard versions moved in one mutation", trial, bumps)
+			}
+		}
+
+		// Drain to empty: the store must stay consistent the whole way
+		// down and accept appends again afterwards.
+		for s.Len() > 0 {
+			tid := s.Len() - 1
+			if rng.Intn(2) == 0 {
+				tid = rng.Intn(s.Len())
+			}
+			if _, err := s.DeleteAt(tid); err != nil {
+				t.Fatalf("trial %d drain: %v", trial, err)
+			}
+			model = append(model[:tid:tid], model[tid+1:]...)
+			checkState("drain")
+		}
+		if err := s.Append(1, 2, 3); err != nil {
+			t.Fatalf("trial %d: append after drain: %v", trial, err)
+		}
+		model = append(model, NewItemset(1, 2, 3))
+		checkState("refill")
+		if _, err := s.DeleteAt(s.Len()); err == nil {
+			t.Fatalf("trial %d: out-of-range delete accepted", trial)
+		}
+	}
+}
+
+// TestShardedDBVerticalBitsetWithEmptyShards pins ToVerticalBitset after
+// shards drain to empty: the word-aligned concat must keep matching the
+// snapshot's vertical layout even when interior shards hold no
+// transactions.
+func TestShardedDBVerticalBitsetWithEmptyShards(t *testing.T) {
+	s := NewShardedDB(64)
+	for i := 0; i < 200; i++ {
+		if err := s.Append(i%5, 5+i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain the middle shard (global ids 64..127) completely.
+	for i := 0; i < 64; i++ {
+		if _, err := s.DeleteAt(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.ToVerticalBitset()
+	want := s.Snapshot().ToVerticalBitset()
+	if got.NumTx != want.NumTx {
+		t.Fatalf("NumTx = %d, want %d", got.NumTx, want.NumTx)
+	}
+	if len(got.Bits) != len(want.Bits) {
+		t.Fatalf("items = %d, want %d", len(got.Bits), len(want.Bits))
+	}
+	for item, wb := range want.Bits {
+		gb, ok := got.Bits[item]
+		if !ok {
+			t.Fatalf("item %d missing", item)
+		}
+		if gb.OnesCount() != wb.OnesCount() {
+			t.Fatalf("item %d: count %d, want %d", item, gb.OnesCount(), wb.OnesCount())
+		}
+		for tid := 0; tid < got.NumTx; tid++ {
+			if gb.Has(tid) != wb.Has(tid) {
+				t.Fatalf("item %d tid %d: %v, want %v", item, tid, gb.Has(tid), wb.Has(tid))
 			}
 		}
 	}
