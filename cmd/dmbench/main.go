@@ -18,109 +18,97 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
 func main() {
+	err := run(os.Args[1:])
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "dmbench:", err)
+	}
+	os.Exit(cliutil.ExitCode(err))
+}
+
+func run(args []string) error {
+	fs := cliutil.NewFlagSet("dmbench")
 	var (
-		expFlag      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		quickFlag    = flag.Bool("quick", false, "run reduced workloads")
-		listFlag     = flag.Bool("list", false, "list experiments and exit")
-		workersFlag  = flag.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS (same semantics as dmine)")
-		parallelJSON = flag.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
-		incJSON      = flag.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
-		fpJSON       = flag.String("fpgrowthjson", "", "write the EXP-P3 pattern-growth baseline as JSON to this file and exit")
-		distFlag     = flag.Bool("dist", false, "run the EXP-P4 distributed overhead sweep (shorthand for -exp P4)")
-		distWorkers  = flag.Int("distworkers", 0, "narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
-		distJSON     = flag.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
+		expFlag      = fs.String("exp", "", "comma-separated experiment ids (default: all)")
+		quickFlag    = fs.Bool("quick", false, "run reduced workloads")
+		listFlag     = fs.Bool("list", false, "list experiments and exit")
+		workersFlag  = cliutil.AddWorkersFlag(fs)
+		parallelJSON = fs.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
+		incJSON      = fs.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
+		fpJSON       = fs.String("fpgrowthjson", "", "write the EXP-P3 pattern-growth baseline as JSON to this file and exit")
+		dist         = cliutil.AddDistFlags(fs,
+			"run the EXP-P4 distributed overhead sweep (shorthand for -exp P4)",
+			"narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
+		distJSON = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
 	)
-	flag.Parse()
+	if err := cliutil.Parse(fs, args); err != nil {
+		return err
+	}
 
 	if *listFlag {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 	scale := experiments.Full
 	if *quickFlag {
 		scale = experiments.Quick
 	}
 	if n := *workersFlag; n != 1 {
-		if n <= 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
-		experiments.DefaultWorkers = n
+		experiments.DefaultWorkers = cliutil.ResolveWorkers(n)
 	}
-	if *distWorkers > 0 {
-		experiments.DistWorkerCounts = []int{*distWorkers}
+	if dist.Workers > 0 {
+		experiments.DistWorkerCounts = []int{dist.Workers}
+	}
+	// Baselines measure into memory first so a failed or interrupted sweep
+	// never truncates an existing file.
+	writeBaseline := func(path, what string, write func(*bytes.Buffer) error) error {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			return fmt.Errorf("%s baseline failed: %w", what, err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s baseline to %s\n", what, path)
+		return nil
 	}
 	if *distJSON != "" {
-		var buf bytes.Buffer
-		if err := experiments.WriteDistBaseline(&buf, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "distributed baseline failed:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*distJSON, buf.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote distributed baseline to %s\n", *distJSON)
-		return
+		return writeBaseline(*distJSON, "distributed", func(buf *bytes.Buffer) error {
+			return experiments.WriteDistBaseline(buf, scale)
+		})
 	}
-	if *distFlag {
+	if dist.Dist {
 		if err := experiments.RunP4(os.Stdout, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "EXP-P4 failed:", err)
-			os.Exit(1)
+			return fmt.Errorf("EXP-P4 failed: %w", err)
 		}
-		return
+		return nil
 	}
 	if *parallelJSON != "" {
-		// Measure into memory first so a failed or interrupted sweep never
-		// truncates an existing baseline file.
-		var buf bytes.Buffer
-		if err := experiments.WriteParallelBaseline(&buf, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "parallel baseline failed:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*parallelJSON, buf.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote parallel baseline to %s\n", *parallelJSON)
-		return
+		return writeBaseline(*parallelJSON, "parallel", func(buf *bytes.Buffer) error {
+			return experiments.WriteParallelBaseline(buf, scale)
+		})
 	}
 	if *incJSON != "" {
-		var buf bytes.Buffer
-		if err := experiments.WriteIncrementalBaseline(&buf, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "incremental baseline failed:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*incJSON, buf.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote incremental baseline to %s\n", *incJSON)
-		return
+		return writeBaseline(*incJSON, "incremental", func(buf *bytes.Buffer) error {
+			return experiments.WriteIncrementalBaseline(buf, scale)
+		})
 	}
 	if *fpJSON != "" {
-		var buf bytes.Buffer
-		if err := experiments.WritePatternBaseline(&buf, scale); err != nil {
-			fmt.Fprintln(os.Stderr, "pattern-growth baseline failed:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*fpJSON, buf.Bytes(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote pattern-growth baseline to %s\n", *fpJSON)
-		return
+		return writeBaseline(*fpJSON, "pattern-growth", func(buf *bytes.Buffer) error {
+			return experiments.WritePatternBaseline(buf, scale)
+		})
 	}
 	var selected []experiments.Experiment
 	if *expFlag == "" {
@@ -129,8 +117,7 @@ func main() {
 		for _, id := range strings.Split(*expFlag, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return fmt.Errorf("%w for dmbench: %v", cliutil.ErrInvalidFlags, err)
 			}
 			selected = append(selected, e)
 		}
@@ -140,8 +127,8 @@ func main() {
 			fmt.Println()
 		}
 		if err := e.Run(os.Stdout, scale); err != nil {
-			fmt.Fprintf(os.Stderr, "EXP-%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("EXP-%s failed: %w", e.ID, err)
 		}
 	}
+	return nil
 }

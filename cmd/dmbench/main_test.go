@@ -1,8 +1,10 @@
 package main
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
@@ -20,5 +22,24 @@ func TestRegistryNonEmpty(t *testing.T) {
 		if _, err := experiments.ByID(e.ID); err != nil {
 			t.Errorf("ByID(%s): %v", e.ID, err)
 		}
+	}
+}
+
+func TestInvalidFlagsExitNonzero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuch"},
+		{"-workers", "NaN"},
+		{"-exp", "NOPE"},
+	} {
+		err := run(args)
+		if !errors.Is(err, cliutil.ErrInvalidFlags) {
+			t.Errorf("run(%v): err = %v, want ErrInvalidFlags", args, err)
+		}
+		if cliutil.ExitCode(err) != 2 {
+			t.Errorf("run(%v): exit code = %d, want 2", args, cliutil.ExitCode(err))
+		}
+	}
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
 	}
 }

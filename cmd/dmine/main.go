@@ -12,19 +12,27 @@
 // Input formats match cmd/dmgen's output: whitespace-separated item ids
 // (one basket per line), ';'-separated transactions of item ids (one
 // customer per line), and CSV with a header row.
+//
+// The assoc subcommand is a thin shell over the public mining package:
+// flags map one-to-one onto mining options (-algo -> mining.Algorithm,
+// -workers -> mining.Workers, -dist -> mining.Transport, -incremental ->
+// mining.Session), so anything the CLI does a Go program can do through
+// the same API. Invalid flags exit 2 with consistent error text across
+// dmine and dmbench (internal/cliutil).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
-	"repro/internal/assoc"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -32,6 +40,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/seqmine"
 	"repro/internal/transactions"
+	"repro/mining"
 )
 
 func main() {
@@ -55,10 +64,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "dmine:", err)
-		os.Exit(1)
 	}
+	os.Exit(cliutil.ExitCode(err))
 }
 
 func usage() {
@@ -67,14 +76,14 @@ func usage() {
 
 // runQuant mines quantitative association rules from a CSV table.
 func runQuant(args []string) error {
-	fs := flag.NewFlagSet("quant", flag.ExitOnError)
+	fs := cliutil.NewFlagSet("quant")
 	in := fs.String("in", "", "CSV with a header row")
 	bins := fs.Int("bins", 4, "equi-depth intervals per numeric attribute")
 	maxSup := fs.Float64("maxsup", 0.5, "maximum interval support")
 	minsup := fs.Float64("minsup", 0.1, "minimum rule support")
 	minconf := fs.Float64("minconf", 0.6, "minimum rule confidence")
 	topN := fs.Int("top", 20, "rules to print")
-	if err := fs.Parse(args); err != nil {
+	if err := cliutil.Parse(fs, args); err != nil {
 		return err
 	}
 	f, err := os.Open(*in)
@@ -101,20 +110,17 @@ func runQuant(args []string) error {
 }
 
 func runAssoc(args []string) error {
-	fs := flag.NewFlagSet("assoc", flag.ExitOnError)
+	fs := cliutil.NewFlagSet("assoc")
 	in := fs.String("in", "", "basket file (one transaction per line)")
-	minsup := fs.Float64("minsup", 0.01, "minimum relative support")
-	minconf := fs.Float64("minconf", 0.5, "minimum rule confidence")
-	algo := fs.String("algo", "Apriori", "mining algorithm (see core.Miners)")
+	sup := cliutil.AddSupportFlags(fs)
+	algo := fs.String("algo", "Apriori", "mining engine (see mining.Algorithms)")
 	topN := fs.Int("top", 20, "rules to print")
-	workers := fs.Int("workers", 1, "counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS")
-	incremental := fs.Bool("incremental", false, "mine with the incremental maintenance backend (dirty-shard re-count)")
-	updates := fs.String("updates", "", "incremental: update script ('+ items…' append, '- tid' delete, '=' re-maintain)")
-	shardCap := fs.Int("shardcap", 0, "incremental: transactions per shard (rounded up to a multiple of 64; 0 = 1024)")
-	verify := fs.Bool("verify", false, "incremental: check each maintained result is byte-identical to a from-scratch run")
-	distributed := fs.Bool("dist", false, "mine through the distributed coordinator/worker backend (in-process transport; -algo selects Apriori or FPGrowth as the engine)")
-	distWorkers := fs.Int("distworkers", 0, "distributed: worker count for the in-process transport; 0 means GOMAXPROCS")
-	if err := fs.Parse(args); err != nil {
+	workers := cliutil.AddWorkersFlag(fs)
+	inc := cliutil.AddIncrementalFlags(fs)
+	dist := cliutil.AddDistFlags(fs,
+		"mine through the distributed coordinator/worker backend (in-process transport; -algo selects Apriori or FPGrowth as the engine)",
+		"distributed: worker count for the in-process transport; 0 means GOMAXPROCS")
+	if err := cliutil.Parse(fs, args); err != nil {
 		return err
 	}
 	f, err := os.Open(*in)
@@ -122,69 +128,47 @@ func runAssoc(args []string) error {
 		return err
 	}
 	defer f.Close()
-	db, err := transactions.ReadBasket(f)
+	db, err := mining.ReadBasket(f)
 	if err != nil {
 		return err
 	}
-	miner, err := core.MinerByName(*algo)
-	if err != nil {
-		return err
+	opts := []mining.Option{
+		mining.MinSupport(sup.MinSup),
+		mining.Algorithm(*algo),
+		mining.Workers(cliutil.ResolveWorkers(*workers)),
 	}
-	if n := *workers; n != 1 && !*distributed {
-		if n <= 0 {
-			n = runtime.GOMAXPROCS(0)
-		}
-		if ws, ok := miner.(assoc.WorkerSetter); ok {
-			ws.SetWorkers(n)
-		} else {
-			fmt.Fprintf(os.Stderr, "dmine: %s does not support -workers; running serially\n", miner.Name())
-		}
-	}
-	// The distributed wrap comes after the -workers application so the
-	// generic flag cannot silently override -distworkers.
-	if *distributed {
-		if *workers != 1 {
-			fmt.Fprintln(os.Stderr, "dmine: -workers does not apply to -dist; use -distworkers")
-		}
-		engine := *algo
-		switch engine {
-		case "Distributed":
-			engine = assoc.DistEngineApriori
-		case assoc.DistEngineApriori, assoc.DistEngineFPGrowth:
+	if dist.Dist {
+		// Validate the engine before announcing anything: the banner must
+		// never name a combination mining.Mine is about to reject.
+		switch *algo {
+		case "Apriori", "FPGrowth", "Auto", "Distributed":
 		default:
-			return fmt.Errorf("-dist supports -algo %s or %s, not %q",
-				assoc.DistEngineApriori, assoc.DistEngineFPGrowth, *algo)
+			return fmt.Errorf("-dist supports -algo Apriori or FPGrowth, not %q", *algo)
 		}
-		wn := *distWorkers
-		if wn <= 0 {
-			wn = runtime.GOMAXPROCS(0)
-		}
-		miner = &assoc.Distributed{Workers: wn, Engine: engine}
-		fmt.Printf("distributed: %s engine over %d in-process workers (gob transport)\n", engine, wn)
+		wn := dist.EffectiveWorkers()
+		opts = append(opts, mining.Transport(mining.LocalTransport(wn)))
+		fmt.Printf("distributed: %s engine over %d in-process workers (gob transport)\n", *algo, wn)
 	}
-	var res *assoc.Result
-	if *incremental {
-		wn := *workers
-		if wn <= 0 {
-			wn = runtime.GOMAXPROCS(0)
-		}
-		res, err = runAssocIncremental(db, miner, *minsup, *updates, *shardCap, *verify, wn)
+	ctx := context.Background()
+	var res *mining.Result
+	if inc.Enabled {
+		res, err = runAssocIncremental(ctx, db, opts, inc)
 	} else {
-		res, err = miner.Mine(db, *minsup)
+		res, err = mining.Mine(ctx, db, opts...)
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: %d transactions, %d frequent itemsets (max length %d)\n",
-		miner.Name(), res.NumTx, res.NumFrequent(), res.MaxLevel())
-	for _, p := range res.Passes {
+		*algo, res.NumTx(), res.NumFrequent(), res.MaxLen())
+	for _, p := range res.Passes() {
 		fmt.Printf("  pass %d: %d candidates, %d frequent\n", p.K, p.Candidates, p.Frequent)
 	}
-	rules, err := assoc.GenerateRules(res, *minconf)
+	rules, err := res.Rules(sup.MinConf)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d rules at confidence >= %.2f\n", len(rules), *minconf)
+	fmt.Printf("%d rules at confidence >= %.2f\n", len(rules), sup.MinConf)
 	for i, r := range rules {
 		if i >= *topN {
 			break
@@ -194,28 +178,30 @@ func runAssoc(args []string) error {
 	return nil
 }
 
-// runAssocIncremental mines db through the incremental maintenance
-// backend: the transactions are bulk-loaded into a sharded store, an
-// initial full mine builds the per-shard count caches, and the optional
-// update script is replayed with a Maintain step at every '=' line (and a
-// final one), re-counting only dirty shards unless the negative border is
-// crossed. With verify set, every maintained result is checked
-// byte-identical to a from-scratch run of the same miner on a snapshot.
-func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64, updatesPath string, shardCap int, verify bool, workers int) (*assoc.Result, error) {
-	store := transactions.NewShardedDBFrom(db, shardCap)
-	inc := &assoc.Incremental{Base: miner, Workers: workers}
-	res, stats, err := inc.Attach(store, minsup)
+// runAssocIncremental mines db through a mining.Session: the transactions
+// are bulk-loaded into the session's sharded store, an initial full mine
+// builds the per-shard count caches, and the optional update script is
+// replayed with a Maintain step at every '=' line (and a final one),
+// re-counting only dirty shards unless the negative border is crossed.
+// With -verify, every maintained result is checked byte-identical to a
+// one-shot Mine over a store snapshot with the same options.
+func runAssocIncremental(ctx context.Context, db *mining.DB, opts []mining.Option, inc *cliutil.IncrementalFlags) (*mining.Result, error) {
+	s, err := mining.NewSession(db, append(opts, mining.ShardCap(inc.ShardCap))...)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("incremental: attached %d transactions in %d shards (cap %d)\n",
-		store.Len(), store.NumShards(), store.ShardCap())
+	defer s.Close()
+	res, stats, err := s.Maintain(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("incremental: attached %d transactions in %d shards\n", s.Len(), stats.NumShards)
 
 	verifyNow := func(label string) error {
-		if !verify {
+		if !inc.Verify {
 			return nil
 		}
-		want, err := miner.Mine(store.Snapshot(), minsup)
+		want, err := mining.Mine(ctx, s.Snapshot(), opts...)
 		if err != nil {
 			return err
 		}
@@ -232,24 +218,24 @@ func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64,
 	step := 0
 	maintain := func() error {
 		step++
-		res, stats, err = inc.Maintain()
+		res, stats, err = s.Maintain(ctx)
 		if err != nil {
 			return err
 		}
 		if stats.FullRun {
 			fmt.Printf("  step %d: %d transactions, %d frequent; full re-mine (%s)\n",
-				step, store.Len(), res.NumFrequent(), stats.Reason)
+				step, s.Len(), res.NumFrequent(), stats.Reason)
 		} else {
 			fmt.Printf("  step %d: %d transactions, %d frequent; re-counted %d/%d shards (%d transactions)\n",
-				step, store.Len(), res.NumFrequent(), stats.DirtyShards, stats.NumShards, stats.RecountedTx)
+				step, s.Len(), res.NumFrequent(), stats.DirtyShards, stats.NumShards, stats.RecountedTx)
 		}
 		return verifyNow(fmt.Sprintf("step %d", step))
 	}
 
-	if updatesPath == "" {
+	if inc.Updates == "" {
 		return res, nil
 	}
-	uf, err := os.Open(updatesPath)
+	uf, err := os.Open(inc.Updates)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +260,7 @@ func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64,
 				}
 				items = append(items, v)
 			}
-			if err := store.Append(items...); err != nil {
+			if err := s.Append(items...); err != nil {
 				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
 			}
 			pending = true
@@ -286,7 +272,7 @@ func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64,
 			if err != nil {
 				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
 			}
-			if _, err := store.DeleteAt(tid); err != nil {
+			if _, err := s.DeleteAt(tid); err != nil {
 				return nil, fmt.Errorf("updates line %d: %w", lineNo, err)
 			}
 			pending = true
@@ -311,12 +297,12 @@ func runAssocIncremental(db *transactions.DB, miner assoc.Miner, minsup float64,
 }
 
 func runSeq(args []string) error {
-	fs := flag.NewFlagSet("seq", flag.ExitOnError)
+	fs := cliutil.NewFlagSet("seq")
 	in := fs.String("in", "", "sequence file (transactions separated by ';')")
 	minsup := fs.Float64("minsup", 0.02, "minimum relative support")
 	algo := fs.String("algo", "GSP", "AprioriAll or GSP")
 	topN := fs.Int("top", 20, "maximal sequences to print")
-	if err := fs.Parse(args); err != nil {
+	if err := cliutil.Parse(fs, args); err != nil {
 		return err
 	}
 	data, err := readSequences(*in)
@@ -387,14 +373,14 @@ func readSequences(path string) ([]seqmine.Sequence, error) {
 }
 
 func runCluster(args []string) error {
-	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	fs := cliutil.NewFlagSet("cluster")
 	in := fs.String("in", "", "CSV of numeric columns (non-numeric columns ignored)")
 	k := fs.Int("k", 5, "number of clusters (ignored by dbscan)")
 	algo := fs.String("algo", "kmeans", "kmeans | pam | clara | clarans | dbscan | birch")
 	eps := fs.Float64("eps", 1, "dbscan: neighbourhood radius")
 	minPts := fs.Int("minpts", 5, "dbscan: core-point threshold")
 	seed := fs.Int64("seed", 1, "seed for randomised algorithms")
-	if err := fs.Parse(args); err != nil {
+	if err := cliutil.Parse(fs, args); err != nil {
 		return err
 	}
 	pts, err := readPoints(*in)
@@ -478,13 +464,13 @@ func readPoints(path string) ([][]float64, error) {
 }
 
 func runClassify(args []string) error {
-	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	fs := cliutil.NewFlagSet("classify")
 	in := fs.String("in", "", "CSV with a header row")
 	class := fs.String("class", "class", "class column name")
 	algo := fs.String("algo", "", "classifier name (default: compare all)")
 	folds := fs.Int("folds", 10, "cross-validation folds")
 	seed := fs.Int64("seed", 1, "fold-assignment seed")
-	if err := fs.Parse(args); err != nil {
+	if err := cliutil.Parse(fs, args); err != nil {
 		return err
 	}
 	f, err := os.Open(*in)

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/cliutil"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -171,5 +174,43 @@ func TestRunQuantEndToEnd(t *testing.T) {
 	}
 	if err := runQuant([]string{"-in", filepath.Join(t.TempDir(), "nope.csv")}); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+func TestInvalidFlagsExitNonzero(t *testing.T) {
+	// Every subcommand reports bad flags with the shared cliutil error
+	// (consistent text, exit code 2 from main) instead of each FlagSet
+	// improvising its own behavior.
+	runs := map[string]func([]string) error{
+		"assoc":    runAssoc,
+		"seq":      runSeq,
+		"cluster":  runCluster,
+		"classify": runClassify,
+		"quant":    runQuant,
+	}
+	for name, run := range runs {
+		err := run([]string{"-definitely-not-a-flag"})
+		if !errors.Is(err, cliutil.ErrInvalidFlags) {
+			t.Errorf("%s: err = %v, want ErrInvalidFlags", name, err)
+		}
+		if cliutil.ExitCode(err) != 2 {
+			t.Errorf("%s: exit code = %d, want 2", name, cliutil.ExitCode(err))
+		}
+	}
+	if err := runAssoc([]string{"-workers", "NaN"}); !errors.Is(err, cliutil.ErrInvalidFlags) {
+		t.Errorf("bad -workers value: err = %v, want ErrInvalidFlags", err)
+	}
+}
+
+func TestRunAssocDistributed(t *testing.T) {
+	path := writeFile(t, "baskets.txt", "1 2 3\n1 2\n2 3\n1 2 3\n2\n1 2\n")
+	if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-dist", "-distworkers", "2"}); err != nil {
+		t.Fatalf("distributed: %v", err)
+	}
+	if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-algo", "FPGrowth", "-dist", "-distworkers", "2"}); err != nil {
+		t.Fatalf("distributed fpgrowth: %v", err)
+	}
+	if err := runAssoc([]string{"-in", path, "-minsup", "0.3", "-algo", "Eclat", "-dist"}); err == nil {
+		t.Error("-dist with a non-distributable engine should error")
 	}
 }

@@ -7,6 +7,16 @@
 // evaluations used, and an experiment harness that regenerates those
 // evaluations' tables and figures.
 //
+// The public entry point for frequent-itemset mining is the mining
+// package at the module root: a context-aware Mine with functional
+// options (MinSupport, Workers, Algorithm, Transport, Progress), a
+// MineStream variant yielding per-level results via iter.Seq2, and a
+// stateful Session that owns an updatable sharded store and keeps its
+// result current under appends and deletes. Everything below this
+// paragraph describes the internal engines that facade drives; their
+// results are byte-identical through either path, a contract the test
+// suite and an exported-API golden gate pin in CI.
+//
 // Support counting — the hot path of every level-wise miner — runs on a
 // shared count-distribution engine (internal/assoc): the transaction
 // database is split into contiguous zero-copy shards

@@ -1,16 +1,19 @@
 // Quickstart: the three technique families on synthetic data in ~40 lines
-// each — association rules on baskets, k-means on points, and a decision
-// tree with cross-validation on a labelled table.
+// each — association rules through the public mining API (one-shot mine,
+// then a stateful session absorbing updates), k-means on points, and a
+// decision tree with cross-validation on a labelled table.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/assoc"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/synth"
+	"repro/internal/transactions"
+	"repro/mining"
 )
 
 func main() {
@@ -19,17 +22,35 @@ func main() {
 	}
 }
 
+// toMiningDB adapts a synthetic generator database to the public API.
+func toMiningDB(db *transactions.DB) (*mining.DB, error) {
+	rows := make([][]int, db.Len())
+	for i, tx := range db.Transactions {
+		rows[i] = tx
+	}
+	return mining.NewDB(rows)
+}
+
 func run() error {
-	// --- Association rules -------------------------------------------
-	db, err := synth.Baskets(synth.TxI(8, 3, 2000, 1))
+	ctx := context.Background()
+
+	// --- Association rules (public mining API) ------------------------
+	raw, err := synth.Baskets(synth.TxI(8, 3, 2000, 1))
 	if err != nil {
 		return err
 	}
-	res, err := (&assoc.Apriori{}).Mine(db, 0.005)
+	db, err := toMiningDB(raw)
 	if err != nil {
 		return err
 	}
-	rules, err := assoc.GenerateRules(res, 0.3)
+	res, err := mining.Mine(ctx, db,
+		mining.MinSupport(0.005),
+		mining.Workers(0), // 0 = GOMAXPROCS; results are identical at any worker count
+	)
+	if err != nil {
+		return err
+	}
+	rules, err := res.Rules(0.3)
 	if err != nil {
 		return err
 	}
@@ -40,6 +61,28 @@ func run() error {
 		}
 		fmt.Println("  ", r)
 	}
+
+	// The stateful handle: a session keeps the result current as data
+	// arrives, re-counting only the shards each update dirties.
+	s, err := mining.NewSession(db, mining.MinSupport(0.005))
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if _, err := s.Mine(ctx); err != nil {
+		return err
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Append(i%5, i%7, i%11); err != nil {
+			return err
+		}
+	}
+	upd, stats, err := s.Maintain(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session: +50 transactions -> %d frequent; re-counted %d/%d shards\n",
+		upd.NumFrequent(), stats.DirtyShards, stats.NumShards)
 
 	// --- Clustering ---------------------------------------------------
 	pts, err := synth.GaussianMixture(synth.GaussianConfig{

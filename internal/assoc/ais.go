@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/transactions"
@@ -17,28 +18,46 @@ import (
 // The paper's memory-management refinements (candidate estimation and
 // pruning functions) are omitted; they reduce constants but do not change
 // the asymptotic picture the EXP-A1 benchmark reproduces.
-type AIS struct{}
+type AIS struct {
+	hook PassHook
+}
 
 // Name implements Miner.
 func (a *AIS) Name() string { return "AIS" }
 
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (a *AIS) SetPassHook(h PassHook) { a.hook = h }
+
 // Mine implements Miner.
 func (a *AIS) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return a.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (a *AIS) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	level := frequentOne(db, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	level, err := frequentOne(ctx, db, minCount)
+	if err != nil {
+		return nil, err
+	}
+	res.addPass(a.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	for k := 2; len(level) > 0; k++ {
 		res.Levels = append(res.Levels, level)
 		counts := make(map[string]int)
 		// One scan: extend every frequent (k-1)-itemset contained in the
 		// transaction by each transaction item greater than its maximum.
 		frontier := itemsetsOf(level)
-		for _, tx := range db.Transactions {
+		for tid, tx := range db.Transactions {
+			if tid%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if len(tx) < k {
 				continue
 			}
@@ -64,7 +83,7 @@ func (a *AIS) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(counts), Frequent: len(level)})
+		res.addPass(a.hook, PassStat{K: k, Candidates: len(counts), Frequent: len(level)}, level)
 	}
 	return res, nil
 }

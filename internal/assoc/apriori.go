@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/hashtree"
@@ -34,6 +35,8 @@ type Apriori struct {
 	// database shards, merged after the pass). Values <= 1 run serially;
 	// results are identical either way.
 	Workers int
+
+	hook PassHook
 }
 
 // Name implements Miner.
@@ -42,25 +45,42 @@ func (a *Apriori) Name() string { return "Apriori" }
 // SetWorkers implements WorkerSetter.
 func (a *Apriori) SetWorkers(n int) { a.Workers = n }
 
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (a *Apriori) SetPassHook(h PassHook) { a.hook = h }
+
 // Mine implements Miner.
 func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return a.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (a *Apriori) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	level := frequentOneWorkers(db, minCount, a.Workers)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	level, err := frequentOneWorkers(ctx, db, minCount, a.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res.addPass(a.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	for k := 2; len(level) > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Levels = append(res.Levels, level)
 		if k == 2 && a.Strategy == CountHashTree {
 			// Pass-2 special case from the paper: C2 is the full join of
 			// L1, so candidates are counted in a triangular array indexed
 			// by L1 rank — no tree needed.
 			nCands := len(level) * (len(level) - 1) / 2
-			level = countPairsTriangular(db, level, minCount, a.Workers)
-			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: nCands, Frequent: len(level)})
+			level, err = countPairsTriangular(ctx, db, level, minCount, a.Workers)
+			if err != nil {
+				return nil, err
+			}
+			res.addPass(a.hook, PassStat{K: 2, Candidates: nCands, Frequent: len(level)}, level)
 			continue
 		}
 		cands := aprioriGen(itemsetsOf(level))
@@ -69,12 +89,12 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 		}
 		var counted []ItemsetCount
 		if a.Strategy == CountMap {
-			counted = countWithMapWorkers(db, cands, k, a.Workers)
+			counted, err = countWithMapWorkers(ctx, db, cands, k, a.Workers)
 		} else {
-			counted, err = a.countWithHashTree(db, cands, k)
-			if err != nil {
-				return nil, err
-			}
+			counted, err = a.countWithHashTree(ctx, db, cands, k)
+		}
+		if err != nil {
+			return nil, err
 		}
 		level = level[:0:0]
 		for _, ic := range counted {
@@ -83,7 +103,7 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(a.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
 	}
 	return res, nil
 }
@@ -93,13 +113,16 @@ func (a *Apriori) Mine(db *transactions.DB, minSupport float64) (*Result, error)
 // l1 is sorted by item id, so emitted pairs are already lexicographic.
 // The scan is distributed across workers (each merges into a private
 // triangle) when workers > 1.
-func countPairsTriangular(db *transactions.DB, l1 []ItemsetCount, minCount, workers int) []ItemsetCount {
+func countPairsTriangular(ctx context.Context, db *transactions.DB, l1 []ItemsetCount, minCount, workers int) ([]ItemsetCount, error) {
 	n := len(l1)
 	if n < 2 {
-		return nil
+		return nil, ctx.Err()
 	}
-	counts := countTriangle(db, l1Ranks(l1, db.NumItems()), n, workers)
-	return thresholdTriangle(l1, counts, minCount)
+	counts, err := countTriangle(ctx, db, l1Ranks(l1, db.NumItems()), n, workers)
+	if err != nil {
+		return nil, err
+	}
+	return thresholdTriangle(l1, counts, minCount), nil
 }
 
 // l1Ranks builds the item-id -> L1-rank map of the triangular pass-2 scan
@@ -136,7 +159,7 @@ func thresholdTriangle(l1 []ItemsetCount, counts []int, minCount int) []ItemsetC
 	return out
 }
 
-func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.Itemset, k int) ([]ItemsetCount, error) {
+func (a *Apriori) countWithHashTree(ctx context.Context, db *transactions.DB, cands []transactions.Itemset, k int) ([]ItemsetCount, error) {
 	maxLeaf := hashtree.DefaultMaxLeaf
 	if a.MaxLeaf > 0 {
 		maxLeaf = a.MaxLeaf
@@ -157,7 +180,9 @@ func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.It
 			return nil, err
 		}
 	}
-	countTree(db, tree, a.Workers)
+	if err := countTree(ctx, db, tree, a.Workers); err != nil {
+		return nil, err
+	}
 	entries := tree.EntriesByID()
 	out := make([]ItemsetCount, len(entries))
 	for i, e := range entries {
@@ -170,20 +195,23 @@ func (a *Apriori) countWithHashTree(db *transactions.DB, cands []transactions.It
 // of candidate keys. To avoid enumerating all k-subsets of long
 // transactions it checks each candidate against each transaction when the
 // candidate set is small, and otherwise enumerates transaction subsets.
-func countWithMap(db *transactions.DB, cands []transactions.Itemset, k int) []ItemsetCount {
-	return countWithMapWorkers(db, cands, k, 1)
+func countWithMap(ctx context.Context, db *transactions.DB, cands []transactions.Itemset, k int) ([]ItemsetCount, error) {
+	return countWithMapWorkers(ctx, db, cands, k, 1)
 }
 
 // countWithMapWorkers is countWithMap with the scan distributed across
 // workers via per-worker count arrays indexed by candidate rank.
-func countWithMapWorkers(db *transactions.DB, cands []transactions.Itemset, k, workers int) []ItemsetCount {
-	counts := countCandidatesDirect(db, cands, k, workers)
+func countWithMapWorkers(ctx context.Context, db *transactions.DB, cands []transactions.Itemset, k, workers int) ([]ItemsetCount, error) {
+	counts, err := countCandidatesDirect(ctx, db, cands, k, workers)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ItemsetCount, len(cands))
 	for i, c := range cands {
 		out[i] = ItemsetCount{Items: c, Count: counts[i]}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
-	return out
+	return out, nil
 }
 
 // adaptiveFanout returns the smallest power of two f with f^k ≥

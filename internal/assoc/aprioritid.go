@@ -1,6 +1,8 @@
 package assoc
 
 import (
+	"context"
+
 	"repro/internal/transactions"
 )
 
@@ -8,10 +10,15 @@ import (
 // rescans the database. Instead it carries C̄k — for every transaction, the
 // ids of the candidate k-itemsets it contains — and derives C̄k+1 from C̄k
 // using the two generator (k-1)-itemsets of each candidate.
-type AprioriTid struct{}
+type AprioriTid struct {
+	hook PassHook
+}
 
 // Name implements Miner.
 func (a *AprioriTid) Name() string { return "AprioriTid" }
+
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (a *AprioriTid) SetPassHook(h PassHook) { a.hook = h }
 
 // tidEntry is one transaction's surviving candidate ids.
 type tidEntry struct {
@@ -21,14 +28,22 @@ type tidEntry struct {
 
 // Mine implements Miner.
 func (a *AprioriTid) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return a.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (a *AprioriTid) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	level := frequentOne(db, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	level, err := frequentOne(ctx, db, minCount)
+	if err != nil {
+		return nil, err
+	}
+	res.addPass(a.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	if len(level) == 0 {
 		return res, nil
 	}
@@ -43,7 +58,11 @@ func (a *AprioriTid) Mine(db *transactions.DB, minSupport float64) (*Result, err
 		}
 		gens := generatorIndices(cands, prev)
 		counts := make([]int, len(cands))
-		bar = advanceBar(bar, gens, counts)
+		var barErr error
+		bar, barErr = advanceBar(ctx, bar, gens, counts)
+		if barErr != nil {
+			return nil, barErr
+		}
 
 		level = nil
 		keep := make([]int, len(cands)) // candidate idx -> idx within frequent set, or -1
@@ -56,7 +75,7 @@ func (a *AprioriTid) Mine(db *transactions.DB, minSupport float64) (*Result, err
 				level = append(level, ItemsetCount{Items: cands[ci], Count: c})
 			}
 		}
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(a.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
 		if len(level) == 0 {
 			break
 		}
@@ -114,8 +133,9 @@ func generatorIndices(cands, prev []transactions.Itemset) [][2]int {
 // exactly when it contains both of c's generators. Candidates are indexed
 // by their first generator so each entry only probes candidates whose g1
 // it actually contains — the paper's join, rather than a scan of Ck per
-// transaction.
-func advanceBar(bar []tidEntry, gens [][2]int, counts []int) []tidEntry {
+// transaction. The entry loop polls ctx every ctxStride entries; on
+// cancellation the partially advanced bar is discarded by the caller.
+func advanceBar(ctx context.Context, bar []tidEntry, gens [][2]int, counts []int) ([]tidEntry, error) {
 	// byFirst[g1] lists (candidate id, g2) pairs.
 	type cg struct{ ci, g2 int }
 	byFirst := make(map[int][]cg)
@@ -123,7 +143,12 @@ func advanceBar(bar []tidEntry, gens [][2]int, counts []int) []tidEntry {
 		byFirst[g[0]] = append(byFirst[g[0]], cg{ci: ci, g2: g[1]})
 	}
 	out := bar[:0]
-	for _, e := range bar {
+	for ei, e := range bar {
+		if ei%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		has := make(map[int]struct{}, len(e.cands))
 		for _, id := range e.cands {
 			has[id] = struct{}{}
@@ -141,7 +166,7 @@ func advanceBar(bar []tidEntry, gens [][2]int, counts []int) []tidEntry {
 			out = append(out, tidEntry{tid: e.tid, cands: next})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // filterBar renumbers entries from candidate ids to frequent-set ids,
@@ -171,13 +196,23 @@ type AprioriHybrid struct {
 	// Zero means 8x the number of transactions, a laptop-scale stand-in
 	// for the paper's "fits in memory" test.
 	BudgetEntries int
+
+	hook PassHook
 }
 
 // Name implements Miner.
 func (a *AprioriHybrid) Name() string { return "AprioriHybrid" }
 
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (a *AprioriHybrid) SetPassHook(h PassHook) { a.hook = h }
+
 // Mine implements Miner.
 func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return a.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (a *AprioriHybrid) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -188,8 +223,11 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	level := frequentOne(db, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	level, err := frequentOne(ctx, db, minCount)
+	if err != nil {
+		return nil, err
+	}
+	res.addPass(a.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	if len(level) == 0 {
 		return res, nil
 	}
@@ -199,6 +237,9 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 	switched := false
 	var bar []tidEntry
 	for k := 2; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if k == 2 {
 			// Pass-2 special case mirrors Apriori: triangular counting,
 			// with the C̄2 size estimated from per-transaction frequent
@@ -218,8 +259,11 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 				}
 				est += m * (m - 1) / 2
 			}
-			level = countPairsTriangular(db, level, minCount, 1)
-			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: nCands, Frequent: len(level)})
+			level, err = countPairsTriangular(ctx, db, level, minCount, 1)
+			if err != nil {
+				return nil, err
+			}
+			res.addPass(a.hook, PassStat{K: 2, Candidates: nCands, Frequent: len(level)}, level)
 			if len(level) == 0 {
 				break
 			}
@@ -237,7 +281,7 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 		}
 		var counts []int
 		if !switched {
-			counted, err := apriori.countWithHashTree(db, cands, k)
+			counted, err := apriori.countWithHashTree(ctx, db, cands, k)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +304,11 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 		} else {
 			gens := generatorIndices(cands, prev)
 			counts = make([]int, len(cands))
-			bar = advanceBar(bar, gens, counts)
+			var barErr error
+			bar, barErr = advanceBar(ctx, bar, gens, counts)
+			if barErr != nil {
+				return nil, barErr
+			}
 		}
 
 		level = nil
@@ -274,7 +322,7 @@ func (a *AprioriHybrid) Mine(db *transactions.DB, minSupport float64) (*Result, 
 				level = append(level, ItemsetCount{Items: cands[ci], Count: c})
 			}
 		}
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(a.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
 		if len(level) == 0 {
 			break
 		}

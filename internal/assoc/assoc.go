@@ -29,9 +29,17 @@
 // a serial scan. The incremental maintainer adds one more consequence:
 // integer addition is invertible, so a dirty shard's stale counts can be
 // subtracted back out and only changed shards are ever re-scanned.
+//
+// Every registered miner additionally implements ContextMiner (hot loops
+// poll the context every ctxStride transactions, so cancellation returns
+// promptly without goroutine leaks) and PassObserver (a hook observes each
+// completed pass) — the contract the public mining package builds its
+// cancellation, progress and streaming features on. This package stays
+// internal; programs use the module-root mining facade.
 package assoc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,6 +83,56 @@ type Miner interface {
 	Name() string
 	// Mine finds all itemsets with relative support >= minSupport.
 	Mine(db *transactions.DB, minSupport float64) (*Result, error)
+}
+
+// ContextMiner is a Miner whose hot loops honour context cancellation:
+// MineContext returns ctx.Err() promptly (within one counting stride or one
+// pass fan-out, whichever is shorter) once ctx is done, leaking no
+// goroutines. Every registered miner implements it; Mine is MineContext
+// under context.Background().
+type ContextMiner interface {
+	Miner
+	MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error)
+}
+
+// MineContext mines db with m under ctx. Miners implementing ContextMiner
+// get the context threaded through their counting loops; for any other
+// Miner the context is only checked up front, since a foreign Mine cannot
+// be interrupted mid-pass.
+func MineContext(ctx context.Context, m Miner, db *transactions.DB, minSupport float64) (*Result, error) {
+	if cm, ok := m.(ContextMiner); ok {
+		return cm.MineContext(ctx, db, minSupport)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.Mine(db, minSupport)
+}
+
+// PassHook observes a completed counting pass: stat describes the pass and
+// level holds its frequent itemsets in canonical order. Engines pass a nil
+// level when the pass's itemsets are not final at emission time (pattern
+// growth assembles levels only at the end; Toivonen's repair step may widen
+// verified levels afterwards) — consumers must treat a nil level as "read
+// it from the final Result". Hooks run on the engine's coordinating
+// goroutine, never concurrently with themselves.
+type PassHook func(stat PassStat, level []ItemsetCount)
+
+// PassObserver is implemented by miners that report pass completion to a
+// hook — every registered miner. The public mining package uses it for
+// progress reporting and result streaming.
+type PassObserver interface {
+	SetPassHook(PassHook)
+}
+
+// addPass records a completed pass on r and notifies hook, the single
+// emission point every engine routes through so pass stats and hook events
+// cannot diverge.
+func (r *Result) addPass(hook PassHook, stat PassStat, level []ItemsetCount) {
+	r.Passes = append(r.Passes, stat)
+	if hook != nil {
+		hook(stat, level)
+	}
 }
 
 // All returns every frequent itemset across levels, in level order.
@@ -150,8 +208,8 @@ func checkInput(db *transactions.DB, minSupport float64) (int, error) {
 func emptyResult() *Result { return &Result{} }
 
 // frequentOne computes L1 by a counting scan, returned in item order.
-func frequentOne(db *transactions.DB, minCount int) []ItemsetCount {
-	return frequentOneWorkers(db, minCount, 1)
+func frequentOne(ctx context.Context, db *transactions.DB, minCount int) ([]ItemsetCount, error) {
+	return frequentOneWorkers(ctx, db, minCount, 1)
 }
 
 // sortLevel orders a level lexicographically in place.

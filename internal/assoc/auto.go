@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/transactions"
@@ -27,6 +28,7 @@ type Auto struct {
 	// Workers is forwarded to whichever engine is selected.
 	Workers int
 
+	hook     PassHook
 	selected atomic.Value // string: engine name of the last Select/Mine
 }
 
@@ -48,6 +50,10 @@ func (a *Auto) Name() string { return "Auto" }
 // SetWorkers implements WorkerSetter.
 func (a *Auto) SetWorkers(n int) { a.Workers = n }
 
+// SetPassHook implements PassObserver; the hook is forwarded to whichever
+// engine the dispatch selects, so its level semantics are the engine's.
+func (a *Auto) SetPassHook(h PassHook) { a.hook = h }
+
 // Selected returns the engine name the last Select or Mine dispatched to
 // ("" before the first call). It is safe to read after a concurrent Mine.
 func (a *Auto) Selected() string {
@@ -60,11 +66,19 @@ func (a *Auto) Selected() string {
 // Select runs the dispatch heuristic and returns the chosen engine without
 // mining. Mine is Select followed by the engine's Mine.
 func (a *Auto) Select(db *transactions.DB, minSupport float64) (Miner, error) {
+	return a.SelectContext(context.Background(), db, minSupport)
+}
+
+// SelectContext is Select with the probe scan under ctx.
+func (a *Auto) SelectContext(ctx context.Context, db *transactions.DB, minSupport float64) (Miner, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return nil, err
 	}
-	counts := countItems(db, a.Workers)
+	counts, err := countItems(ctx, db, a.Workers)
+	if err != nil {
+		return nil, err
+	}
 	nFreq, totalTids := 0, 0
 	for _, c := range counts {
 		if c >= minCount {
@@ -94,9 +108,20 @@ func (a *Auto) Select(db *transactions.DB, minSupport float64) (Miner, error) {
 
 // Mine implements Miner by dispatching to the selected engine.
 func (a *Auto) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
-	m, err := a.Select(db, minSupport)
+	return a.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner: SelectContext followed by the
+// chosen engine's MineContext, with the pass hook forwarded.
+func (a *Auto) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
+	m, err := a.SelectContext(ctx, db, minSupport)
 	if err != nil {
 		return emptyResult(), err
 	}
-	return m.Mine(db, minSupport)
+	if a.hook != nil {
+		if po, ok := m.(PassObserver); ok {
+			po.SetPassHook(a.hook)
+		}
+	}
+	return MineContext(ctx, m, db, minSupport)
 }

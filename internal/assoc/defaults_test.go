@@ -1,0 +1,210 @@
+package assoc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/transactions"
+)
+
+// TestZeroValueOptionDefaults is the cross-engine defaults audit: for
+// every registered engine, the zero-valued struct must behave exactly
+// like the struct with its documented defaults spelled out. This pins the
+// zero-value semantics the public mining package's option documentation
+// promises:
+//
+//	Workers        0 (and 1) mean serial, identical results at any count
+//	Apriori        Strategy=CountHashTree, adaptive Fanout/MaxLeaf
+//	DHP            NumBuckets=1<<16
+//	Eclat          Layout=LayoutAuto, DensityCutoff=DefaultDensityCutoff
+//	Partition      NumPartitions<=1 degenerates to one partition
+//	Sampling       SampleFraction=0.2, LowerFactor=0.8
+//	AprioriHybrid  BudgetEntries=8*|D|
+//	Distributed    Workers=1 transport, Engine=DistEngineApriori
+//	Incremental    TrackSlack=0.8
+func TestZeroValueOptionDefaults(t *testing.T) {
+	db, err := synth.Baskets(synth.TxI(8, 3, 400, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minSup = 0.01
+	cases := []struct {
+		name      string
+		zero      Miner
+		explicit  Miner
+		closeBoth bool
+	}{
+		{name: "Apriori", zero: &Apriori{}, explicit: &Apriori{Strategy: CountHashTree, Workers: 1}},
+		{name: "Apriori/CountMap-params", zero: &Apriori{Strategy: CountMap}, explicit: &Apriori{Strategy: CountMap, Workers: 1}},
+		{name: "DHP", zero: &DHP{}, explicit: &DHP{NumBuckets: 1 << 16, Workers: 1}},
+		{name: "Eclat", zero: &Eclat{}, explicit: &Eclat{Layout: LayoutAuto, DensityCutoff: DefaultDensityCutoff, Workers: 1}},
+		{name: "Partition", zero: &Partition{}, explicit: &Partition{NumPartitions: 1, Workers: 1}},
+		{name: "Sampling", zero: &Sampling{}, explicit: &Sampling{SampleFraction: 0.2, LowerFactor: 0.8}},
+		{name: "AprioriHybrid", zero: &AprioriHybrid{}, explicit: &AprioriHybrid{BudgetEntries: 8 * 400}},
+		{name: "FPGrowth", zero: &FPGrowth{}, explicit: &FPGrowth{Workers: 1}},
+		{name: "Auto", zero: &Auto{}, explicit: &Auto{Workers: 1}},
+		{name: "Distributed", zero: &Distributed{}, explicit: &Distributed{Workers: 1, Engine: DistEngineApriori}, closeBoth: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.closeBoth {
+				defer tc.zero.(*Distributed).Close()
+				defer tc.explicit.(*Distributed).Close()
+			}
+			zr, err := tc.zero.Mine(db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			er, err := tc.explicit.Mine(db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(zr.Canonical()) != string(er.Canonical()) {
+				t.Fatalf("zero-value %s differs from its documented defaults", tc.name)
+			}
+		})
+	}
+
+	// Partition's zero value also names itself without a partition count.
+	if got := (&Partition{}).Name(); got != "Partition" {
+		t.Errorf("zero Partition name = %q", got)
+	}
+
+	// Workers=0 is serial for every WorkerSetter engine: byte-identical
+	// to the zero value and to an explicit 4-worker run.
+	for _, m := range Registered() {
+		ws, ok := m.(WorkerSetter)
+		if !ok {
+			continue
+		}
+		t.Run(m.Name()+"/workers", func(t *testing.T) {
+			if c, ok := m.(interface{ Close() error }); ok {
+				defer c.Close()
+			}
+			base, err := m.Mine(db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{0, 4} {
+				ws.SetWorkers(w)
+				got, err := m.Mine(db, minSup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got.Canonical()) != string(base.Canonical()) {
+					t.Fatalf("%s at Workers=%d differs from zero value", m.Name(), w)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalTrackSlackDefault pins the maintainer's slack default:
+// zero means 0.8, one tracks exactly at the mining support, and the
+// out-of-range values fall back to the default.
+func TestIncrementalTrackSlackDefault(t *testing.T) {
+	store := transactions.NewShardedDB(64)
+	for i := 0; i < 10; i++ {
+		if err := store.Append(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range []struct {
+		slack float64
+		want  float64
+	}{
+		{0, 0.08},
+		{0.8, 0.08},
+		{1, 0.1},
+		{0.5, 0.05},
+		{1.5, 0.08}, // out of range: default
+		{-1, 0.08},  // out of range: default
+	} {
+		inc := &Incremental{TrackSlack: tc.slack}
+		if _, _, err := inc.Attach(store, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		if got := inc.trackSupport(); !floatEq(got, tc.want) {
+			t.Errorf("TrackSlack=%v: trackSupport = %v, want %v", tc.slack, got, tc.want)
+		}
+	}
+}
+
+func floatEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// cancellingBase is a full-run base miner that cancels its context on the
+// Nth call and otherwise delegates to Apriori — the deterministic way to
+// land a cancellation inside rebuild's full mine.
+type cancellingBase struct {
+	cancel   context.CancelFunc
+	calls    int
+	cancelOn int
+}
+
+// Name implements Miner.
+func (c *cancellingBase) Name() string { return "cancelling" }
+
+// Mine implements Miner.
+func (c *cancellingBase) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return c.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (c *cancellingBase) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
+	c.calls++
+	if c.calls == c.cancelOn {
+		c.cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return (&Apriori{}).MineContext(ctx, db, minSupport)
+}
+
+// TestCancelledRebuildDropsStaleResult pins the recovery contract: when a
+// Maintain's recount succeeds (caches now clean) but the border-crossing
+// rebuild is cancelled mid-full-mine, the maintainer must not let a later
+// Maintain take the nothing-changed fast path back to the stale result —
+// the store length is unchanged (append+delete), so only the dropped
+// state forces the re-mine.
+func TestCancelledRebuildDropsStaleResult(t *testing.T) {
+	store := transactions.NewShardedDB(64)
+	for i := 0; i < 10; i++ {
+		if err := store.Append(i%3, 3+i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	base := &cancellingBase{cancel: cancel, cancelOn: 2} // attach mines once
+	inc := &Incremental{Base: base}
+	if _, _, err := inc.Attach(store, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	// Same length, new frequent item 9: the tracked set cannot cover it,
+	// so Maintain recounts, fails threshold, and the rebuild is cancelled.
+	if err := store.Append(9, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inc.MaintainContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled rebuild: err = %v, want context.Canceled", err)
+	}
+	res, _, err := inc.Maintain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (&Apriori{}).Mine(store.Snapshot(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Canonical()) != string(want.Canonical()) {
+		t.Fatal("post-cancel Maintain returned a stale result instead of re-mining")
+	}
+}

@@ -1,6 +1,8 @@
 package assoc
 
 import (
+	"context"
+
 	"repro/internal/transactions"
 )
 
@@ -20,6 +22,8 @@ type DHP struct {
 	// across this many goroutines with per-worker counters merged after
 	// each pass; <= 1 runs serially with identical results.
 	Workers int
+
+	hook PassHook
 }
 
 // Name implements Miner.
@@ -28,8 +32,16 @@ func (d *DHP) Name() string { return "DHP" }
 // SetWorkers implements WorkerSetter.
 func (d *DHP) SetWorkers(n int) { d.Workers = n }
 
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (d *DHP) SetPassHook(h PassHook) { d.hook = h }
+
 // Mine implements Miner.
 func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return d.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (d *DHP) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -43,7 +55,10 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	// Pass 1: item counts plus the pair-bucket histogram, count-distributed
 	// across workers (each fills a private histogram pair, merged after).
 	scan := func(sh transactions.Shard, ic, bc []int) {
-		for _, tx := range sh.Transactions {
+		for off, tx := range sh.Transactions {
+			if off%ctxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			for _, item := range tx {
 				ic[item]++
 			}
@@ -59,18 +74,23 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 		itemCounts = make([]int, db.NumItems())
 		bucket = make([]int, buckets)
 		scan(transactions.Shard{Transactions: db.Transactions}, itemCounts, bucket)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	} else {
 		// Part slices are sized to the worker cap; shards may be fewer and
 		// the resulting nil tails are no-ops for mergeCounts.
 		itemParts := make([][]int, d.Workers)
 		bucketParts := make([][]int, d.Workers)
-		forEachShard(db, d.Workers, func(shard int, sh transactions.Shard) {
+		if err := forEachShard(ctx, db, d.Workers, func(shard int, sh transactions.Shard) {
 			ic := make([]int, db.NumItems())
 			bc := make([]int, buckets)
 			scan(sh, ic, bc)
 			itemParts[shard] = ic
 			bucketParts[shard] = bc
-		})
+		}); err != nil {
+			return nil, err
+		}
 		itemCounts = mergeCounts(itemParts, db.NumItems())
 		bucket = mergeCounts(bucketParts, buckets)
 	}
@@ -80,7 +100,7 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			level = append(level, ItemsetCount{Items: transactions.Itemset{item}, Count: c})
 		}
 	}
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	res.addPass(d.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	if len(level) == 0 {
 		return res, nil
 	}
@@ -98,6 +118,9 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	}
 	apriori := &Apriori{Workers: d.Workers}
 	for k := 2; ; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var cands []transactions.Itemset
 		if k == 2 {
 			cands = c2
@@ -107,7 +130,7 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 		if len(cands) == 0 {
 			break
 		}
-		counted, err := apriori.countWithHashTree(db, cands, k)
+		counted, err := apriori.countWithHashTree(ctx, db, cands, k)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +141,7 @@ func (d *DHP) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(d.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
 		if len(level) == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dist"
@@ -51,6 +52,7 @@ type Distributed struct {
 	// for "") or DistEngineFPGrowth. Both produce identical results.
 	Engine string
 
+	hook  PassHook
 	coord *dist.Coordinator
 	store *transactions.ShardedDB
 	epoch uint64
@@ -68,6 +70,11 @@ func (d *Distributed) Name() string { return "Distributed" }
 // SetWorkers implements WorkerSetter; it sizes the default transport, so
 // it must be called before the first Mine to take effect.
 func (d *Distributed) SetWorkers(n int) { d.Workers = n }
+
+// SetPassHook implements PassObserver. The Apriori strategy emits final
+// levels per pass; the FPGrowth strategy emits them in one burst at the
+// end, after the merged tree is mined (pass 1 carries a nil level).
+func (d *Distributed) SetPassHook(h PassHook) { d.hook = h }
 
 // BindStore attaches the updatable store whose shard snapshots Mine
 // ships. Placement and version state reset, so the next Mine re-ships
@@ -146,7 +153,7 @@ func (d *Distributed) storeMatches(db *transactions.DB) bool {
 // version-stamped shards are synced and clean replicas are reused; any
 // other db is split fresh under a new epoch so stale replicas can never
 // leak into the counts.
-func (d *Distributed) sync(db *transactions.DB) (int, error) {
+func (d *Distributed) sync(ctx context.Context, db *transactions.DB) (int, error) {
 	c := d.Coordinator()
 	if d.storeMatches(db) {
 		if !d.onStorePath {
@@ -160,7 +167,7 @@ func (d *Distributed) sync(db *transactions.DB) (int, error) {
 			view, version := d.store.ShardView(i)
 			payloads[i] = dist.ShardPayload{ID: i, Version: version, Txs: view.Transactions}
 		}
-		return d.store.NumItems(), c.Sync(payloads)
+		return d.store.NumItems(), c.Sync(ctx, payloads)
 	}
 	// Plain DB: one contiguous shard per worker, versioned by a fresh
 	// epoch per call because the db carries no version stamps of its own.
@@ -172,11 +179,18 @@ func (d *Distributed) sync(db *transactions.DB) (int, error) {
 	for i, sh := range shards {
 		payloads[i] = dist.ShardPayload{ID: i, Version: d.epoch, Txs: sh.Transactions}
 	}
-	return db.NumItems(), c.Sync(payloads)
+	return db.NumItems(), c.Sync(ctx, payloads)
 }
 
 // Mine implements Miner.
 func (d *Distributed) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return d.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner: the coordinator's shard shipping
+// and scan fan-outs all run under ctx, so cancellation unblocks mid-pass
+// even while a worker call is in flight.
+func (d *Distributed) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -188,23 +202,23 @@ func (d *Distributed) Mine(db *transactions.DB, minSupport float64) (*Result, er
 	default:
 		return nil, fmt.Errorf("assoc: unknown distributed engine %q", d.Engine)
 	}
-	numItems, err := d.sync(db)
+	numItems, err := d.sync(ctx, db)
 	if err != nil {
 		return nil, err
 	}
 	if d.Engine == DistEngineFPGrowth {
-		return d.mineFPGrowth(db, numItems, minCount)
+		return d.mineFPGrowth(ctx, db, numItems, minCount)
 	}
-	return d.mineApriori(db, numItems, minCount)
+	return d.mineApriori(ctx, db, numItems, minCount)
 }
 
 // mineApriori is Apriori.Mine with every counting scan remoted through the
 // coordinator; generation and thresholding stay local and identical.
-func (d *Distributed) mineApriori(db *transactions.DB, numItems, minCount int) (*Result, error) {
+func (d *Distributed) mineApriori(ctx context.Context, db *transactions.DB, numItems, minCount int) (*Result, error) {
 	c := d.Coordinator()
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	counts, err := c.CountItems(numItems)
+	counts, err := c.CountItems(ctx, numItems)
 	if err != nil {
 		return nil, err
 	}
@@ -214,20 +228,20 @@ func (d *Distributed) mineApriori(db *transactions.DB, numItems, minCount int) (
 			level = append(level, ItemsetCount{Items: transactions.Itemset{item}, Count: cnt})
 		}
 	}
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: numItems, Frequent: len(level)})
+	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: len(level)}, level)
 	for k := 2; len(level) > 0; k++ {
 		res.Levels = append(res.Levels, level)
 		if k == 2 {
 			n := len(level)
 			var l2 []ItemsetCount
 			if n >= 2 {
-				pairCounts, err := c.CountPairs(l1Ranks(level, numItems), n)
+				pairCounts, err := c.CountPairs(ctx, l1Ranks(level, numItems), n)
 				if err != nil {
 					return nil, err
 				}
 				l2 = thresholdTriangle(level, pairCounts, minCount)
 			}
-			res.Passes = append(res.Passes, PassStat{K: 2, Candidates: n * (n - 1) / 2, Frequent: len(l2)})
+			res.addPass(d.hook, PassStat{K: 2, Candidates: n * (n - 1) / 2, Frequent: len(l2)}, l2)
 			level = l2
 			continue
 		}
@@ -237,7 +251,7 @@ func (d *Distributed) mineApriori(db *transactions.DB, numItems, minCount int) (
 		}
 		maxLeaf := hashtree.DefaultMaxLeaf
 		fanout := adaptiveFanout(len(cands), k, maxLeaf)
-		candCounts, err := c.CountCandidates(k, fanout, maxLeaf, cands)
+		candCounts, err := c.CountCandidates(ctx, k, fanout, maxLeaf, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +262,7 @@ func (d *Distributed) mineApriori(db *transactions.DB, numItems, minCount int) (
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(d.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
 	}
 	return res, nil
 }
@@ -256,24 +270,28 @@ func (d *Distributed) mineApriori(db *transactions.DB, numItems, minCount int) (
 // mineFPGrowth distributes the pass-1 scan and the tree build, then grows
 // patterns locally over the merged tree — FPGrowth.Mine with the two
 // database passes remoted.
-func (d *Distributed) mineFPGrowth(db *transactions.DB, numItems, minCount int) (*Result, error) {
+func (d *Distributed) mineFPGrowth(ctx context.Context, db *transactions.DB, numItems, minCount int) (*Result, error) {
 	c := d.Coordinator()
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	counts, err := c.CountItems(numItems)
+	counts, err := c.CountItems(ctx, numItems)
 	if err != nil {
 		return nil, err
 	}
 	ranks := fptree.NewRanks(counts, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: numItems, Frequent: ranks.Len()})
+	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: ranks.Len()}, nil)
 	if ranks.Len() == 0 {
 		return res, nil
 	}
-	tree, err := c.BuildTree(ranks)
+	tree, err := c.BuildTree(ctx, ranks)
 	if err != nil {
 		return nil, err
 	}
 	grower := &FPGrowth{Workers: d.Workers}
-	assembleGrowthLevels(res, grower.minePerRank(tree, minCount))
+	perRank, err := grower.minePerRank(ctx, tree, minCount)
+	if err != nil {
+		return nil, err
+	}
+	assembleGrowthLevels(res, d.hook, perRank)
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,8 @@ type FPGrowth struct {
 	// per-shard tree builds and the per-item projection fan-out; <= 1 runs
 	// serially with identical results.
 	Workers int
+
+	hook PassHook
 }
 
 // Name implements Miner.
@@ -38,23 +41,43 @@ func (f *FPGrowth) Name() string { return "FPGrowth" }
 // SetWorkers implements WorkerSetter.
 func (f *FPGrowth) SetWorkers(n int) { f.Workers = n }
 
+// SetPassHook implements PassObserver. Pattern growth assembles levels
+// only after all projections finish, so the pass-1 event carries a nil
+// level and later passes are emitted in one burst at the end.
+func (f *FPGrowth) SetPassHook(h PassHook) { f.hook = h }
+
 // Mine implements Miner.
 func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return f.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (f *FPGrowth) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
 	}
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	counts := countItems(db, f.Workers)
+	counts, err := countItems(ctx, db, f.Workers)
+	if err != nil {
+		return nil, err
+	}
 	ranks := fptree.NewRanks(counts, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: ranks.Len()})
+	res.addPass(f.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: ranks.Len()}, nil)
 	if ranks.Len() == 0 {
 		return res, nil
 	}
-	tree := buildTree(db, ranks, f.Workers)
+	tree, err := buildTree(ctx, db, ranks, f.Workers)
+	if err != nil {
+		return nil, err
+	}
 
-	assembleGrowthLevels(res, f.minePerRank(tree, minCount))
+	perRank, err := f.minePerRank(ctx, tree, minCount)
+	if err != nil {
+		return nil, err
+	}
+	assembleGrowthLevels(res, f.hook, perRank)
 	return res, nil
 }
 
@@ -62,7 +85,8 @@ func (f *FPGrowth) Mine(db *transactions.DB, minSupport float64) (*Result, error
 // length into canonical sorted levels. The buckets are disjoint, so
 // concatenation order cannot change the sorted levels — workers (and, for
 // the distributed engine, shard placement) only affect wall-clock time.
-func assembleGrowthLevels(res *Result, perRank [][]ItemsetCount) {
+// Each level's pass event fires once the level is sorted, i.e. final.
+func assembleGrowthLevels(res *Result, hook PassHook, perRank [][]ItemsetCount) {
 	for _, bucket := range perRank {
 		for _, ic := range bucket {
 			k := len(ic.Items)
@@ -79,21 +103,27 @@ func assembleGrowthLevels(res *Result, perRank [][]ItemsetCount) {
 		sortLevel(res.Levels[k-1])
 		// Pattern growth generates no candidate sets; the per-pass stat
 		// mirrors the frequent count so pass tables stay comparable.
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(res.Levels[k-1]), Frequent: len(res.Levels[k-1])})
+		res.addPass(hook, PassStat{K: k, Candidates: len(res.Levels[k-1]), Frequent: len(res.Levels[k-1])}, res.Levels[k-1])
 	}
 	sortLevel(res.Levels[0])
 }
 
 // buildTree constructs the global FP-tree: per-shard private builds when
 // workers > 1, merged serially into shard 0's tree.
-func buildTree(db *transactions.DB, ranks *fptree.Ranks, workers int) *fptree.Tree {
+func buildTree(ctx context.Context, db *transactions.DB, ranks *fptree.Ranks, workers int) (*fptree.Tree, error) {
 	if workers <= 1 {
-		return fptree.Build(db.Transactions, ranks)
+		t := fptree.Build(db.Transactions, ranks)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return t, nil
 	}
 	trees := make([]*fptree.Tree, workers)
-	forEachShard(db, workers, func(shard int, sh transactions.Shard) {
+	if err := forEachShard(ctx, db, workers, func(shard int, sh transactions.Shard) {
 		trees[shard] = fptree.Build(sh.Transactions, ranks)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var global *fptree.Tree
 	for _, t := range trees {
 		switch {
@@ -107,15 +137,16 @@ func buildTree(db *transactions.DB, ranks *fptree.Ranks, workers int) *fptree.Tr
 	if global == nil {
 		global = fptree.New(ranks)
 	}
-	return global
+	return global, nil
 }
 
 // minePerRank mines every frequent item's conditional patterns, returning
 // one bucket per rank. With Workers > 1 the ranks are pulled by workers
 // from an atomic cursor — each rank's patterns are independent given the
 // read-only global tree, so this is the projection analogue of count
-// distribution.
-func (f *FPGrowth) minePerRank(tree *fptree.Tree, minCount int) [][]ItemsetCount {
+// distribution. Workers poll ctx per rank (and growPatterns polls per
+// projection), so cancellation surfaces within one conditional mine.
+func (f *FPGrowth) minePerRank(ctx context.Context, tree *fptree.Tree, minCount int) ([][]ItemsetCount, error) {
 	ranks := tree.Ranks()
 	n := ranks.Len()
 	perRank := make([][]ItemsetCount, n)
@@ -128,7 +159,7 @@ func (f *FPGrowth) minePerRank(tree *fptree.Tree, minCount int) [][]ItemsetCount
 		})
 		cond := tree.Project(int32(rk), minCount, s)
 		if !cond.Empty() {
-			out = growPatterns(cond, minCount, []int{item}, s, out)
+			out = growPatterns(ctx, cond, minCount, []int{item}, s, out)
 		}
 		s.Release(cond)
 		perRank[rk] = out
@@ -141,9 +172,12 @@ func (f *FPGrowth) minePerRank(tree *fptree.Tree, minCount int) [][]ItemsetCount
 	if workers <= 1 {
 		s := fptree.NewScratch(ranks)
 		for rk := 0; rk < n; rk++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			mineOne(rk, s)
 		}
-		return perRank
+		return perRank, ctx.Err()
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -154,7 +188,7 @@ func (f *FPGrowth) minePerRank(tree *fptree.Tree, minCount int) [][]ItemsetCount
 			s := fptree.NewScratch(ranks)
 			for {
 				rk := int(cursor.Add(1)) - 1
-				if rk >= n {
+				if rk >= n || ctx.Err() != nil {
 					return
 				}
 				mineOne(rk, s)
@@ -162,15 +196,23 @@ func (f *FPGrowth) minePerRank(tree *fptree.Tree, minCount int) [][]ItemsetCount
 		}()
 	}
 	wg.Wait()
-	return perRank
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return perRank, nil
 }
 
 // growPatterns recursively mines a conditional tree: suffix is the pattern
 // mined so far (item ids, in growth order — emitted itemsets are
 // re-sorted canonically), out accumulates the results. The single-path
 // shortcut replaces the recursion with subset enumeration as soon as the
-// conditional tree degenerates to one chain.
-func growPatterns(t *fptree.Tree, minCount int, suffix []int, s *fptree.Scratch, out []ItemsetCount) []ItemsetCount {
+// conditional tree degenerates to one chain. ctx is polled once per
+// projection: a cancelled mine stops descending and its partial bucket is
+// discarded by minePerRank's caller.
+func growPatterns(ctx context.Context, t *fptree.Tree, minCount int, suffix []int, s *fptree.Scratch, out []ItemsetCount) []ItemsetCount {
+	if ctx.Err() != nil {
+		return out
+	}
 	ranks := t.Ranks()
 	if path, pcounts, ok := t.SinglePath(s); ok {
 		return emitPathSubsets(ranks, path, pcounts, suffix, out)
@@ -186,7 +228,7 @@ func growPatterns(t *fptree.Tree, minCount int, suffix []int, s *fptree.Scratch,
 		out = append(out, ItemsetCount{Items: transactions.NewItemset(pattern...), Count: total})
 		cond := t.Project(rk, minCount, s)
 		if !cond.Empty() {
-			out = growPatterns(cond, minCount, pattern, s, out)
+			out = growPatterns(ctx, cond, minCount, pattern, s, out)
 		}
 		s.Release(cond)
 	}

@@ -27,6 +27,7 @@ package assoc
 // across randomized append/delete sequences.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -137,6 +138,11 @@ func (inc *Incremental) trackSupport() float64 {
 // minSupport and builds the per-shard caches. It returns the initial
 // result; the stats report a full run over every shard.
 func (inc *Incremental) Attach(store *transactions.ShardedDB, minSupport float64) (*Result, MaintainStats, error) {
+	return inc.AttachContext(context.Background(), store, minSupport)
+}
+
+// AttachContext is Attach with the initial full mine under ctx.
+func (inc *Incremental) AttachContext(ctx context.Context, store *transactions.ShardedDB, minSupport float64) (*Result, MaintainStats, error) {
 	if minSupport <= 0 || minSupport > 1 {
 		return nil, MaintainStats{}, fmt.Errorf("%w: %v", ErrBadSupport, minSupport)
 	}
@@ -146,7 +152,7 @@ func (inc *Incremental) Attach(store *transactions.ShardedDB, minSupport float64
 	if sb, ok := inc.Base.(StoreBinder); ok {
 		sb.BindStore(store)
 	}
-	return inc.Maintain()
+	return inc.MaintainContext(ctx)
 }
 
 // Result returns the currently maintained frequent set (nil before Attach).
@@ -166,6 +172,16 @@ func (inc *Incremental) Rules(minConfidence float64) ([]Rule, error) {
 // are re-counted, totals are re-thresholded, and a full re-mine runs only
 // when the tracked border no longer covers the answer.
 func (inc *Incremental) Maintain() (*Result, MaintainStats, error) {
+	return inc.MaintainContext(context.Background())
+}
+
+// MaintainContext is Maintain under ctx. A cancelled maintain returns
+// ctx.Err() before any cached totals are spliced, so the maintainer's
+// state stays exactly what it was and the next call resumes cleanly —
+// except when the cancellation lands inside a full rebuild, which resets
+// the caches first; that case marks the maintainer dirty so the next call
+// runs a fresh full mine instead of trusting half-built caches.
+func (inc *Incremental) MaintainContext(ctx context.Context) (*Result, MaintainStats, error) {
 	var stats MaintainStats
 	if inc.store == nil {
 		return nil, stats, ErrNotAttached
@@ -175,7 +191,7 @@ func (inc *Incremental) Maintain() (*Result, MaintainStats, error) {
 	}
 	stats.NumShards = inc.store.NumShards()
 	if inc.prev == nil {
-		return inc.rebuild(&stats, "initial full mine")
+		return inc.rebuild(ctx, &stats, "initial full mine")
 	}
 
 	dirty := inc.dirtyShards()
@@ -184,11 +200,13 @@ func (inc *Incremental) Maintain() (*Result, MaintainStats, error) {
 		// Nothing changed: same shards, same threshold, same answer.
 		return inc.prev, stats, nil
 	}
-	inc.recount(dirty, &stats)
+	if err := inc.recount(ctx, dirty, &stats); err != nil {
+		return nil, stats, err
+	}
 
 	res, ok, reason := inc.threshold()
 	if !ok {
-		return inc.rebuild(&stats, reason)
+		return inc.rebuild(ctx, &stats, reason)
 	}
 	inc.prev = res
 	return res, stats, nil
@@ -213,10 +231,15 @@ func (inc *Incremental) dirtyShards() []int {
 // recount re-counts the given shards into fresh caches (concurrently up to
 // Workers) and splices them into the running totals: stale counts are
 // subtracted, fresh ones added. Counting is per-shard private, so the
-// concurrent path is race-free and bit-identical to the serial one.
-func (inc *Incremental) recount(dirty []int, stats *MaintainStats) {
+// concurrent path is race-free and bit-identical to the serial one. On
+// cancellation it returns ctx.Err() before the splice, leaving the totals
+// and caches untouched.
+func (inc *Incremental) recount(ctx context.Context, dirty []int, stats *MaintainStats) error {
 	fresh := make([]*shardCache, len(dirty))
 	count := func(slot, shard int) {
+		if ctx.Err() != nil {
+			return
+		}
 		view, version := inc.store.ShardView(shard)
 		fresh[slot] = inc.countShard(view, version)
 	}
@@ -238,6 +261,9 @@ func (inc *Incremental) recount(dirty []int, stats *MaintainStats) {
 			count(slot, shard)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Totals splice (serial: plain integer adds, order-independent).
 	inc.growTotals()
 	for slot, shard := range dirty {
@@ -248,6 +274,7 @@ func (inc *Incremental) recount(dirty []int, stats *MaintainStats) {
 		inc.cache[shard] = fresh[slot]
 		stats.RecountedTx += fresh[slot].numTx
 	}
+	return nil
 }
 
 // growTotals extends the pass-1 totals to the store's current item
@@ -426,11 +453,17 @@ func (inc *Incremental) threshold() (*Result, bool, string) {
 // negative border), re-counts every shard into fresh caches, and derives
 // the exact result at the real support by re-thresholding — so the next
 // update can merge clean-shard counts for free.
-func (inc *Incremental) rebuild(stats *MaintainStats, reason string) (*Result, MaintainStats, error) {
+func (inc *Incremental) rebuild(ctx context.Context, stats *MaintainStats, reason string) (*Result, MaintainStats, error) {
 	stats.FullRun = true
 	stats.Reason = reason
-	full, err := inc.base().Mine(inc.store.Snapshot(), inc.trackSupport())
+	full, err := MineContext(ctx, inc.base(), inc.store.Snapshot(), inc.trackSupport())
 	if err != nil {
+		// The caches may already hold spliced-in fresh counts from the
+		// recount that preceded this rebuild, and threshold() has decided
+		// they cannot derive the answer. Drop the maintained state so the
+		// next Maintain cannot take the nothing-changed fast path back to
+		// the stale result — it must run this full mine again.
+		inc.prev = nil
 		return nil, *stats, err
 	}
 
@@ -492,7 +525,13 @@ func (inc *Incremental) rebuild(stats *MaintainStats, reason string) (*Result, M
 		all[i] = i
 	}
 	rebuildStats := MaintainStats{}
-	inc.recount(all, &rebuildStats)
+	if err := inc.recount(ctx, all, &rebuildStats); err != nil {
+		// The tracked set was already refrozen and the caches reset: drop
+		// the maintained state so the next Maintain runs a full mine
+		// rather than thresholding half-built totals.
+		inc.prev = nil
+		return nil, *stats, err
+	}
 	stats.DirtyShards = len(all)
 	stats.RecountedTx = rebuildStats.RecountedTx
 

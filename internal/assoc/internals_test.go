@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/transactions"
@@ -27,8 +28,15 @@ func TestAdaptiveFanout(t *testing.T) {
 
 func TestCountPairsTriangular(t *testing.T) {
 	db := paperDB(t)
-	l1 := frequentOne(db, 2) // items 1, 2, 3, 5
-	got := countPairsTriangular(db, l1, 2, 1)
+	ctx := context.Background()
+	l1, err := frequentOne(ctx, db, 2) // items 1, 2, 3, 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := countPairsTriangular(ctx, db, l1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := map[string]int{"1,3": 2, "2,3": 2, "2,5": 3, "3,5": 2}
 	if len(got) != len(want) {
 		t.Fatalf("pairs = %v", got)
@@ -39,8 +47,8 @@ func TestCountPairsTriangular(t *testing.T) {
 		}
 	}
 	// Fewer than two frequent items: no pairs.
-	if got := countPairsTriangular(db, l1[:1], 2, 1); got != nil {
-		t.Errorf("single-item pairs = %v", got)
+	if got, err := countPairsTriangular(ctx, db, l1[:1], 2, 1); err != nil || got != nil {
+		t.Errorf("single-item pairs = %v (err %v)", got, err)
 	}
 }
 
@@ -71,7 +79,10 @@ func TestAdvanceBarCounts(t *testing.T) {
 	}
 	gens := [][2]int{{0, 1}, {1, 2}}
 	counts := make([]int, 2)
-	out := advanceBar(bar, gens, counts)
+	out, err := advanceBar(context.Background(), bar, gens, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if counts[0] != 2 || counts[1] != 1 {
 		t.Errorf("counts = %v, want [2 1]", counts)
 	}

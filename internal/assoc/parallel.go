@@ -15,8 +15,15 @@ package assoc
 // candidate hash tree (pass 3+), and the candidate-index map counter used
 // by Partition's global phase. Miners opt in through a Workers option;
 // workers <= 1 runs the identical scan inline with no goroutines.
+//
+// Every helper takes a context and honours cancellation: scan loops poll
+// ctx every ctxStride transactions and bail out early, workers drain
+// through the same poll (no goroutine outlives its helper call), and the
+// helper returns ctx.Err() instead of partial counts. Under
+// context.Background() the poll is a nil check per stride — free.
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/hashtree"
@@ -29,14 +36,22 @@ type WorkerSetter interface {
 	SetWorkers(n int)
 }
 
+// ctxStride is how many transactions a counting scan processes between
+// context polls. Cancellation is therefore detected within one stride per
+// worker, while the poll cost is amortised to nothing on the hot path.
+const ctxStride = 1024
+
 // forEachShard runs fn once per shard on its own goroutine (at most
 // workers of them) and waits for all of them. The shard index, always
 // below the workers cap, lets fn address a private counter buffer.
-// workers <= 1 calls fn inline on a single whole-database shard.
-func forEachShard(db *transactions.DB, workers int, fn func(shard int, sh transactions.Shard)) {
+// workers <= 1 calls fn inline on a single whole-database shard. The
+// returned error is ctx.Err() observed after every worker has exited, so
+// a cancelled scan surfaces the cancellation instead of partial counts
+// and never leaks a goroutine.
+func forEachShard(ctx context.Context, db *transactions.DB, workers int, fn func(shard int, sh transactions.Shard)) error {
 	if workers <= 1 {
 		fn(0, transactions.Shard{Transactions: db.Transactions})
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for i, sh := range db.Shards(workers) {
@@ -47,33 +62,43 @@ func forEachShard(db *transactions.DB, workers int, fn func(shard int, sh transa
 		}(i, sh)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // countShardedInts is the engine's common case: scan fills a private
 // []int counter of length n from one shard; the per-shard counters are
-// merged by addition. workers <= 1 scans the whole database inline.
-func countShardedInts(db *transactions.DB, workers, n int, scan func(sh transactions.Shard, counts []int)) []int {
+// merged by addition. workers <= 1 scans the whole database inline. The
+// scan callback is responsible for polling ctx (use ctxStride).
+func countShardedInts(ctx context.Context, db *transactions.DB, workers, n int, scan func(sh transactions.Shard, counts []int)) ([]int, error) {
 	if workers <= 1 {
 		counts := make([]int, n)
 		scan(transactions.Shard{Transactions: db.Transactions}, counts)
-		return counts
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return counts, nil
 	}
 	// Sized to workers, not the (possibly smaller) shard count; nil tails
 	// are no-ops for mergeCounts.
 	parts := make([][]int, workers)
-	forEachShard(db, workers, func(shard int, sh transactions.Shard) {
+	if err := forEachShard(ctx, db, workers, func(shard int, sh transactions.Shard) {
 		counts := make([]int, n)
 		scan(sh, counts)
 		parts[shard] = counts
-	})
-	return mergeCounts(parts, n)
+	}); err != nil {
+		return nil, err
+	}
+	return mergeCounts(parts, n), nil
 }
 
 // countItems returns per-item transaction-occurrence counts (the pass-1
 // scan), distributed across workers.
-func countItems(db *transactions.DB, workers int) []int {
-	return countShardedInts(db, workers, db.NumItems(), func(sh transactions.Shard, counts []int) {
-		for _, tx := range sh.Transactions {
+func countItems(ctx context.Context, db *transactions.DB, workers int) ([]int, error) {
+	return countShardedInts(ctx, db, workers, db.NumItems(), func(sh transactions.Shard, counts []int) {
+		for off, tx := range sh.Transactions {
+			if off%ctxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			for _, item := range tx {
 				counts[item]++
 			}
@@ -93,50 +118,69 @@ func mergeCounts(parts [][]int, n int) []int {
 }
 
 // frequentOneWorkers is frequentOne with the scan distributed.
-func frequentOneWorkers(db *transactions.DB, minCount, workers int) []ItemsetCount {
-	counts := countItems(db, workers)
+func frequentOneWorkers(ctx context.Context, db *transactions.DB, minCount, workers int) ([]ItemsetCount, error) {
+	counts, err := countItems(ctx, db, workers)
+	if err != nil {
+		return nil, err
+	}
 	var out []ItemsetCount
 	for item, c := range counts {
 		if c >= minCount {
 			out = append(out, ItemsetCount{Items: transactions.Itemset{item}, Count: c})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // countTree scans the database through a fully built candidate hash tree.
 // With workers > 1 each worker counts its shard into a private
 // hashtree.CountBuffer (the tree itself is only read), merged afterwards.
-func countTree(db *transactions.DB, tree *hashtree.Tree, workers int) {
+// On cancellation nothing is merged into the tree, so a caller that
+// (wrongly) ignored the error could never observe partial counts.
+func countTree(ctx context.Context, db *transactions.DB, tree *hashtree.Tree, workers int) error {
 	if workers <= 1 {
 		for tid, tx := range db.Transactions {
+			if tid%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			tree.CountTransaction(tx, tid)
 		}
-		return
+		return ctx.Err()
 	}
 	bufs := make([]*hashtree.CountBuffer, workers)
-	forEachShard(db, workers, func(shard int, sh transactions.Shard) {
+	if err := forEachShard(ctx, db, workers, func(shard int, sh transactions.Shard) {
 		buf := tree.NewCountBuffer()
 		for off, tx := range sh.Transactions {
+			if off%ctxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			tree.CountTransactionInto(tx, sh.Base+off, buf)
 		}
 		bufs[shard] = buf
-	})
+	}); err != nil {
+		return err
+	}
 	for _, buf := range bufs {
 		if buf != nil {
 			tree.Merge(buf)
 		}
 	}
+	return nil
 }
 
 // countTriangle runs the pass-2 triangular pair scan: rank maps item id to
 // L1 rank (-1 for infrequent items), and the result is the merged
 // n*(n-1)/2 triangular count array over ranks.
-func countTriangle(db *transactions.DB, rank []int, n, workers int) []int {
+func countTriangle(ctx context.Context, db *transactions.DB, rank []int, n, workers int) ([]int, error) {
 	scan := func(txs []transactions.Itemset, counts []int) {
 		tri := func(i, j int) int { return i*(2*n-i-1)/2 + (j - i - 1) }
 		ranks := make([]int, 0, 64)
-		for _, tx := range txs {
+		for off, tx := range txs {
+			if off%ctxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			ranks = ranks[:0]
 			for _, item := range tx {
 				if r := rank[item]; r >= 0 {
@@ -150,7 +194,7 @@ func countTriangle(db *transactions.DB, rank []int, n, workers int) []int {
 			}
 		}
 	}
-	return countShardedInts(db, workers, n*(n-1)/2, func(sh transactions.Shard, counts []int) {
+	return countShardedInts(ctx, db, workers, n*(n-1)/2, func(sh transactions.Shard, counts []int) {
 		scan(sh.Transactions, counts)
 	})
 }
@@ -160,13 +204,16 @@ func countTriangle(db *transactions.DB, rank []int, n, workers int) []int {
 // like cands. The per-transaction strategy choice depends only on the
 // transaction, so sharding does not change which branch runs for a given
 // transaction and the merged counts equal the serial scan's.
-func countCandidatesDirect(db *transactions.DB, cands []transactions.Itemset, k, workers int) []int {
+func countCandidatesDirect(ctx context.Context, db *transactions.DB, cands []transactions.Itemset, k, workers int) ([]int, error) {
 	idx := make(map[string]int, len(cands))
 	for i, c := range cands {
 		idx[c.Key()] = i
 	}
 	scan := func(txs []transactions.Itemset, counts []int) {
-		for _, tx := range txs {
+		for off, tx := range txs {
+			if off%ctxStride == 0 && ctx.Err() != nil {
+				return
+			}
 			if len(tx) < k {
 				continue
 			}
@@ -185,7 +232,7 @@ func countCandidatesDirect(db *transactions.DB, cands []transactions.Itemset, k,
 			}
 		}
 	}
-	return countShardedInts(db, workers, len(cands), func(sh transactions.Shard, counts []int) {
+	return countShardedInts(ctx, db, workers, len(cands), func(sh transactions.Shard, counts []int) {
 		scan(sh.Transactions, counts)
 	})
 }

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,10 +31,16 @@ type Partition struct {
 	// same LocalMiner value mines partitions concurrently, so it must be
 	// safe for concurrent Mine calls — every miner in this package is.
 	LocalMiner Miner
+
+	hook PassHook
 }
 
 // SetWorkers implements WorkerSetter.
 func (p *Partition) SetWorkers(n int) { p.Workers = n }
+
+// SetPassHook implements PassObserver. Passes are emitted by the phase-2
+// global count, one per candidate length; every emitted level is final.
+func (p *Partition) SetPassHook(h PassHook) { p.hook = h }
 
 // Name implements Miner.
 func (p *Partition) Name() string {
@@ -45,6 +52,11 @@ func (p *Partition) Name() string {
 
 // Mine implements Miner.
 func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return p.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (p *Partition) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -63,9 +75,9 @@ func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, erro
 	// results merged in partition order.
 	mineLocal := func(part *transactions.DB) ([]transactions.Itemset, error) {
 		if p.LocalMiner == nil {
-			return mineVertical(part, part.AbsoluteSupport(minSupport)), nil
+			return mineVertical(ctx, part, part.AbsoluteSupport(minSupport))
 		}
-		res, err := p.LocalMiner.Mine(part, minSupport)
+		res, err := MineContext(ctx, p.LocalMiner, part, minSupport)
 		if err != nil {
 			return nil, err
 		}
@@ -108,12 +120,12 @@ func (p *Partition) Mine(db *transactions.DB, minSupport float64) (*Result, erro
 			}
 		}
 	}
-	return p.countGlobal(db, candidateKeys, minCount)
+	return p.countGlobal(ctx, db, candidateKeys, minCount)
 }
 
 // countGlobal is phase 2: count every candidate against the full database
 // and assemble a Result.
-func (p *Partition) countGlobal(db *transactions.DB, candidateKeys map[string]transactions.Itemset, minCount int) (*Result, error) {
+func (p *Partition) countGlobal(ctx context.Context, db *transactions.DB, candidateKeys map[string]transactions.Itemset, minCount int) (*Result, error) {
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 	byLen := make(map[int][]transactions.Itemset)
 	for _, is := range candidateKeys {
@@ -126,7 +138,10 @@ func (p *Partition) countGlobal(db *transactions.DB, candidateKeys map[string]tr
 	sort.Ints(lens)
 	for _, l := range lens {
 		cands := byLen[l]
-		counted := countWithMapWorkers(db, cands, l, p.Workers)
+		counted, err := countWithMapWorkers(ctx, db, cands, l, p.Workers)
+		if err != nil {
+			return nil, err
+		}
 		var level []ItemsetCount
 		for _, ic := range counted {
 			if ic.Count >= minCount {
@@ -134,7 +149,7 @@ func (p *Partition) countGlobal(db *transactions.DB, candidateKeys map[string]tr
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: l, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(p.hook, PassStat{K: l, Candidates: len(cands), Frequent: len(level)}, level)
 		if len(level) > 0 {
 			for len(res.Levels) < l {
 				res.Levels = append(res.Levels, nil)
@@ -153,8 +168,8 @@ func (p *Partition) countGlobal(db *transactions.DB, candidateKeys map[string]tr
 // mineVertical finds all locally frequent itemsets of a partition with the
 // paper's tidlist method: L1 from the inverted index, then level-wise
 // candidate generation where each candidate's tidlist is the intersection
-// of its generators' tidlists.
-func mineVertical(db *transactions.DB, minCount int) []transactions.Itemset {
+// of its generators' tidlists. ctx is polled once per level.
+func mineVertical(ctx context.Context, db *transactions.DB, minCount int) ([]transactions.Itemset, error) {
 	vert := db.ToVertical()
 	type node struct {
 		items transactions.Itemset
@@ -173,12 +188,18 @@ func mineVertical(db *transactions.DB, minCount int) []transactions.Itemset {
 	}
 	var out []transactions.Itemset
 	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, nd := range level {
 			out = append(out, nd.items)
 		}
 		// Join nodes sharing a (k-1)-prefix; intersect tidlists.
 		var next []node
 		for i := 0; i < len(level); i++ {
+			if i%ctxStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			for j := i + 1; j < len(level); j++ {
 				a, b := level[i], level[j]
 				if !samePrefix(a.items, b.items, len(a.items)-1) {
@@ -196,5 +217,5 @@ func mineVertical(db *transactions.DB, minCount int) []transactions.Itemset {
 		}
 		level = next
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/stats"
@@ -20,13 +21,25 @@ type Sampling struct {
 	// (default 0.8, i.e. 20% slack).
 	LowerFactor float64
 	Seed        int64
+
+	hook PassHook
 }
 
 // Name implements Miner.
 func (s *Sampling) Name() string { return "Sampling" }
 
+// SetPassHook implements PassObserver. Levels are emitted nil: Toivonen's
+// miss-repair step may widen verified levels after their pass event, so
+// only the final Result's levels are authoritative.
+func (s *Sampling) SetPassHook(h PassHook) { s.hook = h }
+
 // Mine implements Miner.
 func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return s.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (s *Sampling) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -64,7 +77,7 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 		sampleMinSup = 1
 	}
 	apriori := &Apriori{}
-	sampleRes, err := apriori.Mine(sample, sampleMinSup)
+	sampleRes, err := apriori.MineContext(ctx, sample, sampleMinSup)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +100,7 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 		}
 	}
 
-	res, err := s.verify(db, candidates, minCount)
+	res, err := s.verify(ctx, db, candidates, minCount)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +113,9 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 	// all frequent 1-itemsets, the level-wise closure reaches the exact
 	// answer.
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var fresh []transactions.Itemset
 		for _, level := range res.Levels {
 			for _, c := range aprioriGen(itemsetsOf(level)) {
@@ -118,7 +134,10 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 		}
 		grown := false
 		for l, cands := range byLen {
-			counted := countWithMap(db, cands, l)
+			counted, err := countWithMap(ctx, db, cands, l)
+			if err != nil {
+				return nil, err
+			}
 			var newly []ItemsetCount
 			for _, ic := range counted {
 				if ic.Count >= minCount {
@@ -146,7 +165,7 @@ func (s *Sampling) Mine(db *transactions.DB, minSupport float64) (*Result, error
 
 // verify counts every candidate against the full database and assembles
 // the frequent result.
-func (s *Sampling) verify(db *transactions.DB, candidates map[string]transactions.Itemset, minCount int) (*Result, error) {
+func (s *Sampling) verify(ctx context.Context, db *transactions.DB, candidates map[string]transactions.Itemset, minCount int) (*Result, error) {
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 	byLen := make(map[int][]transactions.Itemset)
 	maxLen := 0
@@ -161,7 +180,10 @@ func (s *Sampling) verify(db *transactions.DB, candidates map[string]transaction
 		if len(cands) == 0 {
 			break
 		}
-		counted := countWithMap(db, cands, l)
+		counted, err := countWithMap(ctx, db, cands, l)
+		if err != nil {
+			return nil, err
+		}
 		var level []ItemsetCount
 		for _, ic := range counted {
 			if ic.Count >= minCount {
@@ -169,7 +191,7 @@ func (s *Sampling) verify(db *transactions.DB, candidates map[string]transaction
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: l, Candidates: len(cands), Frequent: len(level)})
+		res.addPass(s.hook, PassStat{K: l, Candidates: len(cands), Frequent: len(level)}, nil)
 		if len(level) == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/transactions"
@@ -13,10 +14,15 @@ import (
 // aggregates the resulting (tid, candidate) tuples to counts. Materialising
 // every occurrence tuple is what makes SETM slow and memory-hungry at low
 // supports, the behaviour EXP-A1 reproduces.
-type SETM struct{}
+type SETM struct {
+	hook PassHook
+}
 
 // Name implements Miner.
 func (s *SETM) Name() string { return "SETM" }
+
+// SetPassHook implements PassObserver. Every emitted level is final.
+func (s *SETM) SetPassHook(h PassHook) { s.hook = h }
 
 // setmTuple is one occurrence of an itemset in a transaction.
 type setmTuple struct {
@@ -26,6 +32,11 @@ type setmTuple struct {
 
 // Mine implements Miner.
 func (s *SETM) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return s.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (s *SETM) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -33,8 +44,11 @@ func (s *SETM) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
 	// Pass 1: occurrence tuples for frequent single items.
-	level := frequentOne(db, minCount)
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	level, err := frequentOne(ctx, db, minCount)
+	if err != nil {
+		return nil, err
+	}
+	res.addPass(s.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, level)
 	if len(level) == 0 {
 		return res, nil
 	}
@@ -58,7 +72,12 @@ func (s *SETM) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 		// occurrence by every transaction item after its maximum.
 		var next []setmTuple
 		counts := make(map[string]int)
-		for _, tu := range tuples {
+		for ti, tu := range tuples {
+			if ti%ctxStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			tx := db.Transactions[tu.tid]
 			maxItem := tu.items[len(tu.items)-1]
 			start := sort.SearchInts(tx, maxItem+1)
@@ -79,7 +98,7 @@ func (s *SETM) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			}
 		}
 		sortLevel(level)
-		res.Passes = append(res.Passes, PassStat{K: k, Candidates: len(counts), Frequent: len(level)})
+		res.addPass(s.hook, PassStat{K: k, Candidates: len(counts), Frequent: len(level)}, level)
 		if len(level) == 0 {
 			break
 		}

@@ -1,6 +1,7 @@
 package assoc
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,8 @@ type Eclat struct {
 	// Workers distributes each level's candidate intersections across this
 	// many goroutines; <= 1 runs serially with identical results.
 	Workers int
+
+	hook PassHook
 }
 
 // Name implements Miner.
@@ -50,6 +53,11 @@ func (e *Eclat) Name() string { return "Eclat" }
 
 // SetWorkers implements WorkerSetter.
 func (e *Eclat) SetWorkers(n int) { e.Workers = n }
+
+// SetPassHook implements PassObserver. Levels are emitted nil: a level's
+// ItemsetCounts are materialised one loop iteration after its pass stat,
+// so consumers read the levels from the final Result.
+func (e *Eclat) SetPassHook(h PassHook) { e.hook = h }
 
 // eclatNode is one frequent itemset with its tid-set in either layout
 // (exactly one of tids/bits is set).
@@ -62,6 +70,11 @@ type eclatNode struct {
 
 // Mine implements Miner.
 func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
+	return e.MineContext(context.Background(), db, minSupport)
+}
+
+// MineContext implements ContextMiner.
+func (e *Eclat) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
 		return emptyResult(), err
@@ -105,18 +118,24 @@ func (e *Eclat) Mine(db *transactions.DB, minSupport float64) (*Result, error) {
 			}
 		}
 	}
-	res.Passes = append(res.Passes, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)})
+	res.addPass(e.hook, PassStat{K: 1, Candidates: db.NumItems(), Frequent: len(level)}, nil)
 
 	for k := 1; len(level) > 0; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		counts := make([]ItemsetCount, len(level))
 		for i, nd := range level {
 			counts[i] = ItemsetCount{Items: nd.items, Count: nd.sup}
 		}
 		res.Levels = append(res.Levels, counts)
 
-		next, candidates := e.joinLevel(level, minCount)
+		next, candidates, err := e.joinLevel(ctx, level, minCount)
+		if err != nil {
+			return nil, err
+		}
 		if candidates > 0 {
-			res.Passes = append(res.Passes, PassStat{K: k + 1, Candidates: candidates, Frequent: len(next)})
+			res.addPass(e.hook, PassStat{K: k + 1, Candidates: candidates, Frequent: len(next)}, nil)
 		}
 		level = next
 	}
@@ -141,8 +160,9 @@ func (e *Eclat) useBitsets(n, totalTids, numTx int) bool {
 // intersecting their tid-sets. The work is split by left-join index i
 // (each i's joins are independent given the level snapshot), pulled by
 // workers from an atomic counter and reassembled in i order, so the output
-// is identical to the serial join.
-func (e *Eclat) joinLevel(level []eclatNode, minCount int) ([]eclatNode, int) {
+// is identical to the serial join. Both the serial and the worker loops
+// poll ctx per left index, so cancellation surfaces within one i's joins.
+func (e *Eclat) joinLevel(ctx context.Context, level []eclatNode, minCount int) ([]eclatNode, int, error) {
 	joinsFor := func(i int, dst []eclatNode) ([]eclatNode, int) {
 		candidates := 0
 		a := level[i]
@@ -185,11 +205,14 @@ func (e *Eclat) joinLevel(level []eclatNode, minCount int) ([]eclatNode, int) {
 		var next []eclatNode
 		candidates := 0
 		for i := 0; i < len(level); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			var c int
 			next, c = joinsFor(i, next)
 			candidates += c
 		}
-		return next, candidates
+		return next, candidates, nil
 	}
 
 	perI := make([][]eclatNode, len(level))
@@ -206,7 +229,7 @@ func (e *Eclat) joinLevel(level []eclatNode, minCount int) ([]eclatNode, int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= len(level) {
+				if i >= len(level) || ctx.Err() != nil {
 					return
 				}
 				perI[i], candsPerI[i] = joinsFor(i, nil)
@@ -214,11 +237,14 @@ func (e *Eclat) joinLevel(level []eclatNode, minCount int) ([]eclatNode, int) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	var next []eclatNode
 	candidates := 0
 	for i := range perI {
 		next = append(next, perI[i]...)
 		candidates += candsPerI[i]
 	}
-	return next, candidates
+	return next, candidates, nil
 }

@@ -1,0 +1,132 @@
+// Package cliutil holds the flag plumbing cmd/dmine and cmd/dmbench
+// share: the mining flag groups (workers, support, incremental,
+// distributed) registered with one help text and one resolution rule, and
+// a Parse/ExitCode pair that makes every invalid-flag path exit nonzero
+// with consistent error text instead of whatever each FlagSet improvised.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// ErrInvalidFlags wraps every flag-parse failure Parse reports; commands
+// test for it with errors.Is and exit with code 2.
+var ErrInvalidFlags = errors.New("invalid flags")
+
+// NewFlagSet returns a FlagSet wired for Parse: ContinueOnError (so
+// failures return instead of exiting mid-library) with usage printed to
+// stderr.
+func NewFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// Parse parses args with fs. On failure the flag package has already
+// printed the specific problem and the usage to fs's output; the returned
+// error wraps ErrInvalidFlags with the flag-set name, so every command
+// reports "invalid flags for <cmd>: <reason>" and exits nonzero. -h/-help
+// returns flag.ErrHelp unchanged (commands exit 0).
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w for %s: %v", ErrInvalidFlags, fs.Name(), err)
+	}
+	return nil
+}
+
+// ExitCode maps a command's top-level error to its process exit code:
+// 0 for success or -h, 2 for invalid flags, 1 for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, ErrInvalidFlags):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// AddWorkersFlag registers the shared -workers flag: counting-scan
+// goroutines for engines that support count distribution, default 1
+// (serial), 0 meaning GOMAXPROCS. Resolve with ResolveWorkers.
+func AddWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 1,
+		"counting-scan goroutines for miners that support count distribution; 0 means GOMAXPROCS")
+}
+
+// ResolveWorkers applies the CLI-wide convention: n <= 0 resolves to
+// runtime.GOMAXPROCS(0).
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// SupportFlags are the shared mining thresholds.
+type SupportFlags struct {
+	MinSup  float64
+	MinConf float64
+}
+
+// AddSupportFlags registers -minsup and -minconf with the shared
+// defaults. Range validation stays with the engines (ErrBadSupport /
+// ErrBadConfidence), so CLI and API errors cannot diverge.
+func AddSupportFlags(fs *flag.FlagSet) *SupportFlags {
+	s := &SupportFlags{}
+	fs.Float64Var(&s.MinSup, "minsup", 0.01, "minimum relative support in (0, 1]")
+	fs.Float64Var(&s.MinConf, "minconf", 0.5, "minimum rule confidence in (0, 1]")
+	return s
+}
+
+// IncrementalFlags are the incremental-maintenance flags.
+type IncrementalFlags struct {
+	Enabled  bool
+	Updates  string
+	ShardCap int
+	Verify   bool
+}
+
+// AddIncrementalFlags registers -incremental, -updates, -shardcap and
+// -verify.
+func AddIncrementalFlags(fs *flag.FlagSet) *IncrementalFlags {
+	f := &IncrementalFlags{}
+	fs.BoolVar(&f.Enabled, "incremental", false,
+		"mine through the incremental maintenance backend (dirty-shard re-count)")
+	fs.StringVar(&f.Updates, "updates", "",
+		"incremental: update script ('+ items…' append, '- tid' delete, '=' re-maintain)")
+	fs.IntVar(&f.ShardCap, "shardcap", 0,
+		"incremental: transactions per shard (rounded up to a multiple of 64; 0 = 1024)")
+	fs.BoolVar(&f.Verify, "verify", false,
+		"incremental: check each maintained result is byte-identical to a from-scratch run")
+	return f
+}
+
+// DistFlags are the distributed-backend flags. The two commands apply
+// -distworkers differently (transport size vs. sweep-ladder narrowing),
+// so the usage strings are parameters while the names and types are
+// shared.
+type DistFlags struct {
+	Dist    bool
+	Workers int
+}
+
+// AddDistFlags registers -dist and -distworkers with the given usage.
+func AddDistFlags(fs *flag.FlagSet, distUsage, workersUsage string) *DistFlags {
+	d := &DistFlags{}
+	fs.BoolVar(&d.Dist, "dist", false, distUsage)
+	fs.IntVar(&d.Workers, "distworkers", 0, workersUsage)
+	return d
+}
+
+// EffectiveWorkers resolves -distworkers for the transport-sizing use:
+// <= 0 means GOMAXPROCS.
+func (d *DistFlags) EffectiveWorkers() int { return ResolveWorkers(d.Workers) }

@@ -1,0 +1,83 @@
+package cliutil
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseInvalidFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuch"},
+		{"-workers", "notanint"},
+		{"-minsup"}, // missing value
+	} {
+		fs := NewFlagSet("assoc")
+		fs.SetOutput(io.Discard)
+		AddWorkersFlag(fs)
+		AddSupportFlags(fs)
+		err := Parse(fs, args)
+		if !errors.Is(err, ErrInvalidFlags) {
+			t.Errorf("Parse(%v): err = %v, want ErrInvalidFlags", args, err)
+		}
+		if err == nil || !strings.HasPrefix(err.Error(), "invalid flags for assoc: ") {
+			t.Errorf("Parse(%v): error text %q lacks the consistent prefix", args, err)
+		}
+		if ExitCode(err) != 2 {
+			t.Errorf("Parse(%v): exit code = %d, want 2", args, ExitCode(err))
+		}
+	}
+}
+
+func TestParseHelp(t *testing.T) {
+	fs := NewFlagSet("assoc")
+	fs.SetOutput(io.Discard)
+	err := Parse(fs, []string{"-h"})
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	if ExitCode(err) != 0 {
+		t.Errorf("exit code for -h = %d, want 0", ExitCode(err))
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	fs := NewFlagSet("assoc")
+	fs.SetOutput(io.Discard)
+	workers := AddWorkersFlag(fs)
+	sup := AddSupportFlags(fs)
+	inc := AddIncrementalFlags(fs)
+	dist := AddDistFlags(fs, "dist usage", "workers usage")
+	if err := Parse(fs, []string{"-workers", "4", "-minsup", "0.02", "-incremental", "-dist", "-distworkers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *workers != 4 || sup.MinSup != 0.02 || sup.MinConf != 0.5 || !inc.Enabled || !dist.Dist || dist.Workers != 3 {
+		t.Errorf("parsed values = %d %v %+v %+v", *workers, sup, inc, dist)
+	}
+	if ExitCode(nil) != 0 {
+		t.Error("nil error should exit 0")
+	}
+	if ExitCode(errors.New("boom")) != 1 {
+		t.Error("plain errors should exit 1")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3); got != 3 {
+		t.Errorf("ResolveWorkers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := ResolveWorkers(0); got != want {
+		t.Errorf("ResolveWorkers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := ResolveWorkers(-2); got != want {
+		t.Errorf("ResolveWorkers(-2) = %d, want GOMAXPROCS %d", got, want)
+	}
+	d := &DistFlags{Workers: 0}
+	if got := d.EffectiveWorkers(); got != want {
+		t.Errorf("EffectiveWorkers(0) = %d, want %d", got, want)
+	}
+}

@@ -1,11 +1,13 @@
-// Package core is the unified facade of the library — the "data mining
-// techniques" toolbox the tutorial surveys, behind three small interfaces:
-// classifier trainers, clusterers, and pattern miners. The cmd/ tools and
-// the examples program against this package, and the experiment harness
-// uses its registries to sweep every algorithm uniformly. Stateful
-// backends that do not fit the one-shot Mine interface — the incremental
-// maintainer assoc.Incremental — are plumbed by the CLIs directly, reusing
-// the registries only for their full-run base miner.
+// Package core is the internal registry facade of the library — the "data
+// mining techniques" toolbox the tutorial surveys, behind three small
+// interfaces: classifier trainers, clusterers, and pattern miners. The
+// experiment harness uses its registries to sweep every algorithm
+// uniformly, and the classifier/clusterer CLIs program against it. For
+// frequent-itemset mining the public, versioned entry point is the
+// module-root mining package (context-aware Mine/MineStream and the
+// stateful mining.Session, which finally absorbs the incremental
+// maintainer); the miner registry here is a thin re-export of
+// assoc.Registered, the single list both facades share.
 package core
 
 import (
@@ -304,22 +306,11 @@ func PartitionClusterers(k int, seed int64) []Clusterer {
 	}
 }
 
-// Miners returns the association-rule miner suite, the EXP-A1 lineup.
+// Miners returns the association-rule miner suite, the EXP-A1 lineup. The
+// canonical list lives in assoc.Registered, which the public mining
+// package shares, so this is a thin re-export.
 func Miners() []assoc.Miner {
-	return []assoc.Miner{
-		&assoc.AIS{},
-		&assoc.SETM{},
-		&assoc.Apriori{},
-		&assoc.AprioriTid{},
-		&assoc.AprioriHybrid{},
-		&assoc.Partition{NumPartitions: 4},
-		&assoc.DHP{},
-		&assoc.Eclat{},
-		&assoc.FPGrowth{},
-		&assoc.Sampling{},
-		&assoc.Auto{},
-		&assoc.Distributed{},
-	}
+	return assoc.Registered()
 }
 
 // MinerByName finds a miner by its Name().

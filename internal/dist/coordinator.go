@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -67,7 +68,7 @@ func (c *Coordinator) Reset() {
 // round-robin, and exactly the payloads whose version differs from the
 // last shipped one move over the transport. The shard set becomes the
 // scan target of subsequent Count*/BuildTree calls.
-func (c *Coordinator) Sync(shards []ShardPayload) error {
+func (c *Coordinator) Sync(ctx context.Context, shards []ShardPayload) error {
 	n := c.t.NumWorkers()
 	if n < 1 {
 		return ErrNoWorkers
@@ -93,12 +94,12 @@ func (c *Coordinator) Sync(shards []ShardPayload) error {
 		c.stats.ShipCalls++
 		c.stats.ShippedShards += len(payloads)
 	}
-	if err := c.fanOut(func(w int, ids []int) error {
+	if err := c.fanOut(ctx, func(w int, ids []int) error {
 		payloads := dirty[w]
 		if len(payloads) == 0 {
 			return nil
 		}
-		return c.t.Call(w, MethodShip, &ShipArgs{Shards: payloads}, &ShipReply{})
+		return c.t.Call(ctx, w, MethodShip, &ShipArgs{Shards: payloads}, &ShipReply{})
 	}); err != nil {
 		return err
 	}
@@ -123,8 +124,13 @@ func (c *Coordinator) perWorker() map[int][]int {
 // sorted, so requests are deterministic) and returns the first error.
 // Sync also routes its ships through here so ship and count traffic share
 // one concurrency shape. fn must not touch coordinator state without its
-// own synchronisation; the callers account stats before spawning.
-func (c *Coordinator) fanOut(fn func(w int, ids []int) error) error {
+// own synchronisation; the callers account stats before spawning. A done
+// ctx short-circuits before spawning; mid-flight cancellation is handled
+// by the transport, whose Call unblocks with ctx.Err().
+func (c *Coordinator) fanOut(ctx context.Context, fn func(w int, ids []int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	groups := c.perWorker()
 	workers := make([]int, 0, len(groups))
 	for w := range groups {
@@ -151,13 +157,13 @@ func (c *Coordinator) fanOut(fn func(w int, ids []int) error) error {
 
 // countMerged fans a counting method out and folds the flat reply buffers
 // by elementwise addition into an array of length n.
-func (c *Coordinator) countMerged(n int, method string, argsFor func(ids []int) any) ([]int, error) {
+func (c *Coordinator) countMerged(ctx context.Context, n int, method string, argsFor func(ids []int) any) ([]int, error) {
 	out := make([]int, n)
 	c.stats.CountCalls += len(c.perWorker())
 	var mu sync.Mutex
-	if err := c.fanOut(func(w int, ids []int) error {
+	if err := c.fanOut(ctx, func(w int, ids []int) error {
 		var reply CountsReply
-		if err := c.t.Call(w, method, argsFor(ids), &reply); err != nil {
+		if err := c.t.Call(ctx, w, method, argsFor(ids), &reply); err != nil {
 			return err
 		}
 		// Reply buffers are wire data; a version-skewed worker must not
@@ -181,16 +187,16 @@ func (c *Coordinator) countMerged(n int, method string, argsFor func(ids []int) 
 }
 
 // CountItems runs the distributed pass-1 scan over the synced shards.
-func (c *Coordinator) CountItems(numItems int) ([]int, error) {
-	return c.countMerged(numItems, MethodCountItems, func(ids []int) any {
+func (c *Coordinator) CountItems(ctx context.Context, numItems int) ([]int, error) {
+	return c.countMerged(ctx, numItems, MethodCountItems, func(ids []int) any {
 		return &CountItemsArgs{ShardIDs: ids, NumItems: numItems}
 	})
 }
 
 // CountPairs runs the distributed triangular pass-2 scan; rank maps item
 // id to L1 rank (-1 for infrequent items) and n is the rank count.
-func (c *Coordinator) CountPairs(rank []int, n int) ([]int, error) {
-	return c.countMerged(n*(n-1)/2, MethodCountPairs, func(ids []int) any {
+func (c *Coordinator) CountPairs(ctx context.Context, rank []int, n int) ([]int, error) {
+	return c.countMerged(ctx, n*(n-1)/2, MethodCountPairs, func(ids []int) any {
 		return &CountPairsArgs{ShardIDs: ids, Rank: rank, N: n}
 	})
 }
@@ -198,8 +204,8 @@ func (c *Coordinator) CountPairs(rank []int, n int) ([]int, error) {
 // CountCandidates runs a distributed pass-k (k >= 3) scan; the returned
 // counts are indexed like cands because every worker rebuilds the hash
 // tree in the same insertion order.
-func (c *Coordinator) CountCandidates(k, fanout, maxLeaf int, cands []transactions.Itemset) ([]int, error) {
-	return c.countMerged(len(cands), MethodCountCandidates, func(ids []int) any {
+func (c *Coordinator) CountCandidates(ctx context.Context, k, fanout, maxLeaf int, cands []transactions.Itemset) ([]int, error) {
+	return c.countMerged(ctx, len(cands), MethodCountCandidates, func(ids []int) any {
 		return &CountCandidatesArgs{ShardIDs: ids, K: k, Fanout: fanout, MaxLeaf: maxLeaf, Candidates: cands}
 	})
 }
@@ -207,13 +213,13 @@ func (c *Coordinator) CountCandidates(k, fanout, maxLeaf int, cands []transactio
 // BuildTree has every worker build an FP-tree over its shards and merges
 // the imported trees path-wise — counts bit-identical to one local build,
 // by the same commutativity the per-shard parallel builds rely on.
-func (c *Coordinator) BuildTree(r *fptree.Ranks) (*fptree.Tree, error) {
+func (c *Coordinator) BuildTree(ctx context.Context, r *fptree.Ranks) (*fptree.Tree, error) {
 	var mu sync.Mutex
 	var global *fptree.Tree
 	c.stats.CountCalls += len(c.perWorker())
-	if err := c.fanOut(func(w int, ids []int) error {
+	if err := c.fanOut(ctx, func(w int, ids []int) error {
 		var reply TreeReply
-		if err := c.t.Call(w, MethodBuildTree, &BuildTreeArgs{ShardIDs: ids, Ranks: r}, &reply); err != nil {
+		if err := c.t.Call(ctx, w, MethodBuildTree, &BuildTreeArgs{ShardIDs: ids, Ranks: r}, &reply); err != nil {
 			return err
 		}
 		t, err := fptree.Import(r, reply.Nodes)

@@ -30,6 +30,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -128,13 +129,16 @@ type TreeReply struct {
 // Transport carries coordinator requests to workers. Call invokes a
 // Method* on worker w (args and reply follow net/rpc conventions: args may
 // be a value or pointer, reply must be a pointer) and blocks until the
-// reply is filled. Calls to distinct workers may run concurrently; the
-// coordinator never issues concurrent calls to one worker.
+// reply is filled or ctx is done, whichever comes first — an abandoned
+// in-flight request is discarded when its reply eventually arrives, so
+// cancellation never corrupts a later call's reply. Calls to distinct
+// workers may run concurrently; the coordinator never issues concurrent
+// calls to one worker.
 type Transport interface {
 	// NumWorkers returns how many workers the transport reaches.
 	NumWorkers() int
-	// Call invokes method on worker w.
-	Call(w int, method string, args, reply any) error
+	// Call invokes method on worker w, honouring ctx cancellation.
+	Call(ctx context.Context, w int, method string, args, reply any) error
 	// Close releases the transport; subsequent calls fail with ErrClosed.
 	Close() error
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -8,6 +9,10 @@ import (
 	"repro/internal/fptree"
 	"repro/internal/transactions"
 )
+
+// ctx is the background context shared by tests that do not exercise
+// cancellation (the transport contract tests live in the assoc package).
+var ctx = context.Background()
 
 // testShards splits db into n payloads with the given version, mirroring
 // the plain-DB path of the assoc engine.
@@ -70,10 +75,10 @@ func TestCountItemsMatchesLocalScan(t *testing.T) {
 	want := localCounts(db)
 	eachTransport(t, func(t *testing.T, tr Transport) {
 		c := NewCoordinator(tr)
-		if err := c.Sync(testShards(db, tr.NumWorkers(), 1)); err != nil {
+		if err := c.Sync(ctx, testShards(db, tr.NumWorkers(), 1)); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.CountItems(db.NumItems())
+		got, err := c.CountItems(ctx, db.NumItems())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,10 +112,10 @@ func TestCountPairsMatchesBruteForce(t *testing.T) {
 	}
 	eachTransport(t, func(t *testing.T, tr Transport) {
 		c := NewCoordinator(tr)
-		if err := c.Sync(testShards(db, tr.NumWorkers(), 1)); err != nil {
+		if err := c.Sync(ctx, testShards(db, tr.NumWorkers(), 1)); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.CountPairs(rank, n)
+		got, err := c.CountPairs(ctx, rank, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,10 +137,10 @@ func TestCountCandidatesMatchesSupport(t *testing.T) {
 	}
 	eachTransport(t, func(t *testing.T, tr Transport) {
 		c := NewCoordinator(tr)
-		if err := c.Sync(testShards(db, tr.NumWorkers(), 1)); err != nil {
+		if err := c.Sync(ctx, testShards(db, tr.NumWorkers(), 1)); err != nil {
 			t.Fatal(err)
 		}
-		got, err := c.CountCandidates(3, 16, 32, cands)
+		got, err := c.CountCandidates(ctx, 3, 16, 32, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,10 +158,10 @@ func TestBuildTreeMatchesLocalBuild(t *testing.T) {
 	local := fptree.Build(db.Transactions, ranks)
 	eachTransport(t, func(t *testing.T, tr Transport) {
 		c := NewCoordinator(tr)
-		if err := c.Sync(testShards(db, tr.NumWorkers(), 1)); err != nil {
+		if err := c.Sync(ctx, testShards(db, tr.NumWorkers(), 1)); err != nil {
 			t.Fatal(err)
 		}
-		tree, err := c.BuildTree(ranks)
+		tree, err := c.BuildTree(ctx, ranks)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,14 +182,14 @@ func TestSyncReshipsOnlyDirtyShards(t *testing.T) {
 	defer tr.Close()
 	c := NewCoordinator(tr)
 	shards := testShards(db, 4, 1)
-	if err := c.Sync(shards); err != nil {
+	if err := c.Sync(ctx, shards); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().ShippedShards; got != 4 {
 		t.Fatalf("initial ship = %d shards, want 4", got)
 	}
 	// Unchanged versions: nothing moves.
-	if err := c.Sync(shards); err != nil {
+	if err := c.Sync(ctx, shards); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().ShippedShards; got != 4 {
@@ -192,7 +197,7 @@ func TestSyncReshipsOnlyDirtyShards(t *testing.T) {
 	}
 	// One dirty shard: exactly one moves.
 	shards[2].Version = 2
-	if err := c.Sync(shards); err != nil {
+	if err := c.Sync(ctx, shards); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().ShippedShards; got != 5 {
@@ -200,7 +205,7 @@ func TestSyncReshipsOnlyDirtyShards(t *testing.T) {
 	}
 	// Reset forgets versions: everything moves again.
 	c.Reset()
-	if err := c.Sync(shards); err != nil {
+	if err := c.Sync(ctx, shards); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().ShippedShards; got != 9 {
@@ -225,7 +230,7 @@ func TestLocalTransportClosed(t *testing.T) {
 	if err := tr.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	err := tr.Call(0, MethodShip, &ShipArgs{}, &ShipReply{})
+	err := tr.Call(ctx, 0, MethodShip, &ShipArgs{}, &ShipReply{})
 	if !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -234,12 +239,12 @@ func TestLocalTransportClosed(t *testing.T) {
 func TestBadMethod(t *testing.T) {
 	tr := NewLocalTransport(1, false)
 	defer tr.Close()
-	if err := tr.Call(0, "Nope", &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrBadMethod) {
+	if err := tr.Call(ctx, 0, "Nope", &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrBadMethod) {
 		t.Fatalf("err = %v, want ErrBadMethod", err)
 	}
 	tr2 := NewLocalTransport(1, true)
 	defer tr2.Close()
-	if err := tr2.Call(0, "Nope", &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrBadMethod) {
+	if err := tr2.Call(ctx, 0, "Nope", &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrBadMethod) {
 		t.Fatalf("encode err = %v, want ErrBadMethod", err)
 	}
 }
@@ -269,10 +274,10 @@ func TestRPCTransport(t *testing.T) {
 		t.Fatalf("workers = %d", tr.NumWorkers())
 	}
 	c := NewCoordinator(tr)
-	if err := c.Sync(testShards(db, 3, 1)); err != nil {
+	if err := c.Sync(ctx, testShards(db, 3, 1)); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.CountItems(db.NumItems())
+	got, err := c.CountItems(ctx, db.NumItems())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +289,7 @@ func TestRPCTransport(t *testing.T) {
 	}
 	// FP-tree build over RPC: the Ranks pointer round-trips through gob.
 	ranks := fptree.NewRanks(want, 2)
-	tree, err := c.BuildTree(ranks)
+	tree, err := c.BuildTree(ctx, ranks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +301,7 @@ func TestRPCTransport(t *testing.T) {
 
 func TestCoordinatorNoWorkers(t *testing.T) {
 	c := NewCoordinator(&RPCTransport{})
-	if err := c.Sync(nil); !errors.Is(err, ErrNoWorkers) {
+	if err := c.Sync(ctx, nil); !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("err = %v, want ErrNoWorkers", err)
 	}
 }
@@ -307,7 +312,7 @@ type stubTransport struct {
 }
 
 func (s *stubTransport) NumWorkers() int { return 1 }
-func (s *stubTransport) Call(w int, method string, args, reply any) error {
+func (s *stubTransport) Call(_ context.Context, w int, method string, args, reply any) error {
 	if r, ok := reply.(*CountsReply); ok {
 		r.Counts = s.counts
 	}
@@ -317,10 +322,10 @@ func (s *stubTransport) Close() error { return nil }
 
 func TestCountMergedRejectsWrongLengthReply(t *testing.T) {
 	c := NewCoordinator(&stubTransport{counts: make([]int, 9)})
-	if err := c.Sync([]ShardPayload{{ID: 0, Version: 1}}); err != nil {
+	if err := c.Sync(ctx, []ShardPayload{{ID: 0, Version: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CountItems(4); err == nil {
+	if _, err := c.CountItems(ctx, 4); err == nil {
 		t.Fatal("oversized reply buffer accepted")
 	}
 }
@@ -330,7 +335,7 @@ func TestRPCTransportClosedCall(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Call(0, MethodShip, &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrClosed) {
+	if err := tr.Call(ctx, 0, MethodShip, &ShipArgs{}, &ShipReply{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"sync"
 )
@@ -60,8 +61,14 @@ func (t *LocalTransport) NumWorkers() int { return len(t.workers) }
 
 // Call implements Transport. In encode mode the args are gob-encoded and
 // decoded into a fresh message before the worker sees them, and the reply
-// makes the reverse trip, so no memory is shared across the "wire".
-func (t *LocalTransport) Call(w int, method string, args, reply any) error {
+// makes the reverse trip, so no memory is shared across the "wire". A
+// cancelled ctx abandons the request: if the worker already took it, the
+// buffered done channel absorbs its eventual reply, so neither side
+// blocks or leaks.
+func (t *LocalTransport) Call(ctx context.Context, w int, method string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c := localCall{method: method, args: args, reply: reply, done: make(chan error, 1)}
 	if t.Encode {
 		wireArgs, wireReply, err := message(method)
@@ -81,10 +88,20 @@ func (t *LocalTransport) Call(w int, method string, args, reply any) error {
 		t.mu.RUnlock()
 		return ErrClosed
 	}
-	t.calls[w] <- c
+	select {
+	case t.calls[w] <- c:
+	case <-ctx.Done():
+		t.mu.RUnlock()
+		return ctx.Err()
+	}
 	t.mu.RUnlock()
-	if err := <-c.done; err != nil {
-		return err
+	select {
+	case err := <-c.done:
+		if err != nil {
+			return err
+		}
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 	if t.Encode {
 		return gobRoundTrip(c.reply, reply)

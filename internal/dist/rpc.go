@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"net"
 	"net/rpc"
 )
@@ -57,12 +58,24 @@ func DialRPC(addrs []string) (*RPCTransport, error) {
 func (t *RPCTransport) NumWorkers() int { return len(t.clients) }
 
 // Call implements Transport. A closed transport returns ErrClosed like
-// the local one, instead of panicking on the nil client slice.
-func (t *RPCTransport) Call(w int, method string, args, reply any) error {
+// the local one, instead of panicking on the nil client slice. A cancelled
+// ctx abandons the in-flight rpc: net/rpc delivers the eventual reply to
+// the call's own done channel (buffered), so nothing leaks and the
+// connection stays usable.
+func (t *RPCTransport) Call(ctx context.Context, w int, method string, args, reply any) error {
 	if w < 0 || w >= len(t.clients) {
 		return ErrClosed
 	}
-	return t.clients[w].Call(workerService+"."+method, args, reply)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	call := t.clients[w].Go(workerService+"."+method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-call.Done:
+		return call.Error
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Close implements Transport, closing every connection and returning the

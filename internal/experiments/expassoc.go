@@ -1,27 +1,35 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/assoc"
 	"repro/internal/synth"
 	"repro/internal/transactions"
+	"repro/mining"
 )
 
-// a1Miners is the VLDB'94 Fig. 4 lineup.
-func a1Miners() []assoc.Miner {
-	return []assoc.Miner{
-		&assoc.SETM{},
-		&assoc.AIS{},
-		&assoc.AprioriTid{},
-		withWorkers(&assoc.Apriori{}),
-		&assoc.AprioriHybrid{},
+// a1Algorithms is the VLDB'94 Fig. 4 lineup, named for the public API.
+func a1Algorithms() []string {
+	return []string{"SETM", "AIS", "AprioriTid", "Apriori", "AprioriHybrid"}
+}
+
+// miningDB adapts an internal database to the public facade once per
+// workload (the row headers are shared, the DB wrapper re-normalises).
+func miningDB(db *transactions.DB) (*mining.DB, error) {
+	rows := make([][]int, db.Len())
+	for i, tx := range db.Transactions {
+		rows[i] = tx
 	}
+	return mining.NewDB(rows)
 }
 
 // RunA1 reproduces the execution-time-vs-support figure on the three
-// classic workloads.
+// classic workloads, driven through the public mining API — the same
+// sweep a library consumer would write, which keeps the facade's overhead
+// honest in the headline experiment.
 func RunA1(w io.Writer, s Scale) error {
 	header(w, "A1", "execution time (ms) vs minimum support")
 	d := 2000
@@ -38,30 +46,38 @@ func RunA1(w io.Writer, s Scale) error {
 		{"T10.I4", 10, 4},
 		{"T20.I6", 20, 6},
 	}
+	ctx := context.Background()
 	for _, ds := range datasets {
-		db, err := synth.Baskets(synth.TxI(ds.t, ds.i, d, 94))
+		raw, err := synth.Baskets(synth.TxI(ds.t, ds.i, d, 94))
+		if err != nil {
+			return err
+		}
+		db, err := miningDB(raw)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\n%s.D%d\n", ds.name, d)
 		fmt.Fprintf(w, "%-8s", "minsup")
-		for _, m := range a1Miners() {
-			fmt.Fprintf(w, "%14s", m.Name())
+		for _, name := range a1Algorithms() {
+			fmt.Fprintf(w, "%14s", name)
 		}
 		fmt.Fprintln(w)
 		for _, sup := range supports {
 			fmt.Fprintf(w, "%-8.2f", sup*100)
-			for _, m := range a1Miners() {
-				var res *assoc.Result
+			for _, name := range a1Algorithms() {
+				opts := []mining.Option{mining.Algorithm(name), mining.MinSupport(sup)}
+				// Mirror withWorkers: only Apriori takes the -workers
+				// fan-out here, and 0/1 keeps the serial scans.
+				if name == "Apriori" && DefaultWorkers > 1 {
+					opts = append(opts, mining.Workers(DefaultWorkers))
+				}
 				dur, err := timeIt(func() error {
-					var e error
-					res, e = m.Mine(db, sup)
+					_, e := mining.Mine(ctx, db, opts...)
 					return e
 				})
 				if err != nil {
 					return err
 				}
-				_ = res
 				fmt.Fprintf(w, "%14s", ms(dur))
 			}
 			fmt.Fprintln(w)

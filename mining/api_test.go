@@ -1,0 +1,164 @@
+package mining_test
+
+// The API-stability gate of the public mining package: every exported
+// symbol (consts, vars, funcs, types, their exported fields and methods)
+// is rendered to one line each and compared against testdata/api.golden.
+// A deliberate surface change regenerates the golden file with
+//
+//	UPDATE_API=1 go test ./mining -run TestAPIGolden
+//
+// so accidental breaks — a renamed option, a method signature drift, a
+// field that stopped being exported — fail CI instead of shipping.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exportedAPI renders the package's exported surface as sorted lines.
+func exportedAPI(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	exprString := func(e ast.Expr) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, e); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					sig := strings.TrimPrefix(exprString(d.Type), "func")
+					if d.Recv != nil {
+						recv := exprString(d.Recv.List[0].Type)
+						base := strings.TrimPrefix(recv, "*")
+						if !token.IsExported(base) {
+							continue
+						}
+						add("method (%s) %s%s", recv, d.Name.Name, sig)
+					} else {
+						add("func %s%s", d.Name.Name, sig)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.ValueSpec:
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							for _, name := range s.Names {
+								if name.IsExported() {
+									add("%s %s", kind, name.Name)
+								}
+							}
+						case *ast.TypeSpec:
+							if !s.Name.IsExported() {
+								continue
+							}
+							switch typ := s.Type.(type) {
+							case *ast.StructType:
+								add("type %s struct", s.Name.Name)
+								for _, f := range typ.Fields.List {
+									for _, fn := range f.Names {
+										if fn.IsExported() {
+											add("field %s.%s %s", s.Name.Name, fn.Name, exprString(f.Type))
+										}
+									}
+								}
+							case *ast.InterfaceType:
+								add("type %s interface", s.Name.Name)
+								for _, m := range typ.Methods.List {
+									for _, mn := range m.Names {
+										if mn.IsExported() {
+											sig := strings.TrimPrefix(exprString(m.Type), "func")
+											add("ifacemethod %s.%s%s", s.Name.Name, mn.Name, sig)
+										}
+									}
+								}
+							default:
+								add("type %s %s", s.Name.Name, exprString(s.Type))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestAPIGolden(t *testing.T) {
+	got := strings.Join(exportedAPI(t, "."), "\n") + "\n"
+	golden := filepath.Join("testdata", "api.golden")
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run UPDATE_API=1 go test ./mining -run TestAPIGolden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed.\n--- want (testdata/api.golden)\n+++ got\n%s\n"+
+			"If the change is intentional, regenerate with: UPDATE_API=1 go test ./mining -run TestAPIGolden",
+			diffLines(string(want), got))
+	}
+}
+
+// diffLines is a minimal line diff: lines only in want are prefixed with
+// '-', lines only in got with '+'.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var out []string
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			out = append(out, "+ "+l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

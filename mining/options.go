@@ -1,0 +1,264 @@
+package mining
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"repro/internal/assoc"
+	"repro/internal/dist"
+)
+
+// Defaults applied when the corresponding option is omitted. They are
+// pinned by the option tests and the cross-engine defaults table test.
+const (
+	// DefaultMinSupport is the relative support used when MinSupport is
+	// not given.
+	DefaultMinSupport = 0.01
+	// DefaultAlgorithm probes the workload's pass-1 scan and dispatches
+	// to the expected-fastest engine; results are identical regardless.
+	DefaultAlgorithm = "Auto"
+	// DefaultTrackSlack is the factor sessions lower the support by when
+	// freezing the tracked candidate set (see TrackSlack).
+	DefaultTrackSlack = 0.8
+	// DefaultShardCap is the per-shard transaction capacity of a
+	// session's store when ShardCap is not given.
+	DefaultShardCap = 1024
+)
+
+// Option configures Mine, MineStream or NewSession. Options are applied
+// in order; a later option overrides an earlier one. An invalid value
+// surfaces as an error (wrapping ErrBadOption or ErrUnknownAlgorithm)
+// from the call the option was passed to, before any mining starts.
+type Option func(*config) error
+
+// config is the resolved option set.
+type config struct {
+	minSupport float64
+	algorithm  string
+	workers    int
+	transport  *TransportSpec
+	progress   func(PassStat)
+	shardCap   int
+	trackSlack float64
+}
+
+// newConfig applies opts over the defaults.
+func newConfig(opts []Option) (*config, error) {
+	cfg := &config{
+		minSupport: DefaultMinSupport,
+		algorithm:  DefaultAlgorithm,
+		workers:    1,
+		trackSlack: DefaultTrackSlack,
+		shardCap:   DefaultShardCap,
+	}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// MinSupport sets the relative minimum support in (0, 1]. Out-of-range
+// values are rejected by the engines with ErrBadSupport, exactly like the
+// internal call paths, so degenerate behavior cannot diverge between the
+// facade and the engines.
+func MinSupport(s float64) Option {
+	return func(c *config) error {
+		c.minSupport = s
+		return nil
+	}
+}
+
+// Workers bounds the goroutines of every counting scan, tree build and
+// projection fan-out (count distribution: private per-worker counters
+// over contiguous shards, merged after each pass — results are
+// byte-identical at any worker count). n == 1 runs serially with no
+// goroutines; n == 0 resolves to runtime.GOMAXPROCS(0); negative n is an
+// error.
+func Workers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: Workers(%d)", ErrBadOption, n)
+		}
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// Algorithm selects the engine by name — any name in Algorithms(). The
+// default "Auto" probes the workload and dispatches; every engine finds
+// identical itemsets, so the choice moves only wall-clock time.
+func Algorithm(name string) Option {
+	return func(c *config) error {
+		c.algorithm = name
+		return nil
+	}
+}
+
+// Algorithms lists the selectable engine names in registry order.
+func Algorithms() []string {
+	miners := assoc.Registered()
+	out := make([]string, len(miners))
+	for i, m := range miners {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Progress registers a callback invoked after each completed counting
+// pass, on the mining goroutine (keep it fast; it runs inside the mining
+// hot path). Sessions report progress for full mines — the attach and any
+// border-crossing re-mine — while purely incremental maintains finish
+// without pass events.
+func Progress(fn func(PassStat)) Option {
+	return func(c *config) error {
+		c.progress = fn
+		return nil
+	}
+}
+
+// TransportSpec describes how the distributed backend reaches its
+// workers. Build one with LocalTransport or RPCTransport and apply it
+// with Transport.
+type TransportSpec struct {
+	workers int
+	addrs   []string
+}
+
+// LocalTransport runs n in-process workers fed by channels, with every
+// payload making a real gob round trip — the single-binary deployment
+// that still measures true serialization cost. n <= 0 means 1.
+func LocalTransport(n int) TransportSpec {
+	if n < 1 {
+		n = 1
+	}
+	return TransportSpec{workers: n}
+}
+
+// RPCTransport reaches one worker process per "host:port" address over
+// net/rpc's gob codec. Dialing happens when mining starts (or when the
+// session is created); a dial failure surfaces from that call.
+func RPCTransport(addrs ...string) TransportSpec {
+	return TransportSpec{addrs: append([]string(nil), addrs...)}
+}
+
+// Transport routes mining through the distributed coordinator/worker
+// backend over the given transport. It composes with Algorithm: "Apriori"
+// and "FPGrowth" select the distributed counting strategy of the same
+// name, "Auto", "Distributed" or the default select distributed Apriori,
+// and any other engine is an error (those engines have no distributed
+// form). Coordinator-side fan-outs default to the transport's worker
+// count (override with an explicit Workers). Distributed results are
+// byte-identical to local ones.
+func Transport(spec TransportSpec) Option {
+	return func(c *config) error {
+		c.transport = &spec
+		return nil
+	}
+}
+
+// ShardCap sets a session store's per-shard transaction capacity (rounded
+// up to a multiple of 64; smaller shards mean finer-grained incremental
+// re-counting, larger ones fewer version stamps). n == 0 keeps
+// DefaultShardCap; negative n is an error. Mine and MineStream ignore it.
+func ShardCap(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("%w: ShardCap(%d)", ErrBadOption, n)
+		}
+		if n == 0 {
+			n = DefaultShardCap
+		}
+		c.shardCap = n
+		return nil
+	}
+}
+
+// TrackSlack sets the factor in (0, 1] a session lowers the support by
+// when freezing its tracked candidate set: tracking at s*minSupport keeps
+// near-threshold itemsets' counts cached so small updates stay
+// incremental. Results are exact regardless — slack only trades cache
+// memory against full-re-mine frequency. s == 0 keeps DefaultTrackSlack;
+// values outside [0, 1] are an error. Mine and MineStream ignore it.
+func TrackSlack(s float64) Option {
+	return func(c *config) error {
+		if s < 0 || s > 1 {
+			return fmt.Errorf("%w: TrackSlack(%v)", ErrBadOption, s)
+		}
+		if s == 0 {
+			s = DefaultTrackSlack
+		}
+		c.trackSlack = s
+		return nil
+	}
+}
+
+// buildMiner constructs a fresh engine for one Mine/MineStream call or
+// one Session. The returned closer (possibly nil) releases resources the
+// engine owns — the distributed transport's worker goroutines or rpc
+// connections — and must be closed when the engine is done.
+func (c *config) buildMiner() (assoc.Miner, io.Closer, error) {
+	if c.transport != nil {
+		engine := ""
+		switch c.algorithm {
+		case "", "Auto", "Distributed", assoc.DistEngineApriori:
+			engine = assoc.DistEngineApriori
+		case assoc.DistEngineFPGrowth:
+			engine = assoc.DistEngineFPGrowth
+		default:
+			return nil, nil, fmt.Errorf("%w: Transport supports Algorithm %q or %q, not %q",
+				ErrBadOption, assoc.DistEngineApriori, assoc.DistEngineFPGrowth, c.algorithm)
+		}
+		t, err := c.transport.open()
+		if err != nil {
+			return nil, nil, err
+		}
+		// The coordinator-side work (FPGrowth's projection fan-out over
+		// the merged tree) defaults to the transport's worker count, so a
+		// 4-worker transport parallelises the whole pipeline without a
+		// separate Workers option; an explicit Workers(n > 1) overrides.
+		workers := c.workers
+		if workers <= 1 {
+			workers = t.NumWorkers()
+		}
+		d := &assoc.Distributed{Transport: t, Workers: workers, Engine: engine}
+		return d, d, nil
+	}
+	for _, m := range assoc.Registered() {
+		if m.Name() != c.algorithm {
+			continue
+		}
+		if c.workers != 1 {
+			if ws, ok := m.(assoc.WorkerSetter); ok {
+				ws.SetWorkers(c.workers)
+			}
+		}
+		closer, _ := m.(io.Closer) // the plain Distributed engine owns a lazy transport
+		return m, closer, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %q (want one of %v)", ErrUnknownAlgorithm, c.algorithm, Algorithms())
+}
+
+// open dials or starts the transport.
+func (t *TransportSpec) open() (dist.Transport, error) {
+	if len(t.addrs) > 0 {
+		return dist.DialRPC(t.addrs)
+	}
+	return dist.NewLocalTransport(t.workers, true), nil
+}
+
+// passHook adapts the Progress callback to the engines' hook signature.
+func (c *config) passHook() assoc.PassHook {
+	if c.progress == nil {
+		return nil
+	}
+	fn := c.progress
+	return func(stat assoc.PassStat, _ []assoc.ItemsetCount) {
+		fn(PassStat(stat))
+	}
+}

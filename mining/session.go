@@ -1,0 +1,224 @@
+package mining
+
+import (
+	"context"
+	"io"
+	"sync"
+
+	"repro/internal/assoc"
+	"repro/internal/transactions"
+)
+
+// MaintainStats describes the work one Session.Maintain call did.
+type MaintainStats struct {
+	// NumShards is the store's shard count.
+	NumShards int
+	// DirtyShards is how many shards were re-counted (version changed).
+	DirtyShards int
+	// RecountedTx is how many transactions those shards held.
+	RecountedTx int
+	// FullRun reports a fall-back to a full re-mine, with Reason saying
+	// why ("" when the update stayed incremental).
+	FullRun bool
+	Reason  string
+}
+
+// Session is the stateful mining handle: it owns an updatable sharded
+// store and keeps a mined frequent set current across Append and DeleteAt
+// — the first-class form of the incremental maintenance backend that was
+// previously reachable only through CLI plumbing.
+//
+// Mine (or Maintain, which also reports work stats) brings the result up
+// to date: the first call runs a full mine and caches per-shard counting
+// structures; later calls re-count only the shards an update dirtied,
+// falling back to a full re-mine only when the maintained frequent set's
+// negative border is crossed. Every returned Result is byte-identical to
+// a from-scratch run over the store's current contents.
+//
+// The Algorithm option selects the full-run engine; with Transport the
+// distributed engine is bound to the store, so full runs re-ship only
+// dirty shards to the workers. Close releases whatever the engine owns
+// (in-process transport workers, rpc connections).
+//
+// A Session serialises its own methods with a mutex, so it is safe for
+// concurrent use; mutations simply block while a Maintain is running.
+type Session struct {
+	mu       sync.Mutex
+	cfg      *config
+	store    *transactions.ShardedDB
+	inc      *assoc.Incremental
+	closer   io.Closer
+	attached bool
+	closed   bool
+	last     *Result
+}
+
+// NewSession creates a session over a copy-free bulk load of db (which
+// must not be mutated afterwards); a nil db starts empty. The options are
+// the same set Mine takes, plus the session-only ShardCap and TrackSlack;
+// MinSupport is fixed for the session's lifetime.
+func NewSession(db *DB, opts ...Option) (*Session, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	base, closer, err := cfg.buildMiner()
+	if err != nil {
+		return nil, err
+	}
+	if hook := cfg.passHook(); hook != nil {
+		if po, ok := base.(assoc.PassObserver); ok {
+			po.SetPassHook(hook)
+		}
+	}
+	var store *transactions.ShardedDB
+	if db != nil && db.Len() > 0 {
+		store = transactions.NewShardedDBFrom(db.db, cfg.shardCap)
+	} else {
+		store = transactions.NewShardedDB(cfg.shardCap)
+	}
+	return &Session{
+		cfg:   cfg,
+		store: store,
+		inc: &assoc.Incremental{
+			Base:       base,
+			Workers:    cfg.workers,
+			TrackSlack: cfg.trackSlack,
+		},
+		closer: closer,
+	}, nil
+}
+
+// Len returns the number of live transactions in the store.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.store.Len()
+}
+
+// Append adds one transaction (deduplicated, sorted; negative ids are
+// rejected). The result is stale until the next Mine or Maintain.
+func (s *Session) Append(items ...int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.store.Append(items...)
+}
+
+// DeleteAt removes the transaction with global id tid (its position in
+// the live concatenation, 0-based) and returns it. Later transactions'
+// ids shift down by one. The result is stale until the next Mine or
+// Maintain.
+func (s *Session) DeleteAt(tid int) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	tx, err := s.store.DeleteAt(tid)
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Mine brings the frequent set up to date with the store and returns it:
+// a full mine on the first call, an incremental maintain afterwards. An
+// empty store returns ErrEmptyDB. Cancelling ctx aborts promptly with
+// ctx.Err(), leaves the maintained state consistent, and the next call
+// picks up where this one left off.
+func (s *Session) Mine(ctx context.Context) (*Result, error) {
+	res, _, err := s.Maintain(ctx)
+	return res, err
+}
+
+// Maintain is Mine with the work stats: how many shards were re-counted,
+// and whether (and why) the update fell back to a full re-mine.
+func (s *Session) Maintain(ctx context.Context) (*Result, MaintainStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, MaintainStats{}, ErrClosed
+	}
+	var (
+		res   *assoc.Result
+		stats assoc.MaintainStats
+		err   error
+	)
+	if !s.attached {
+		res, stats, err = s.inc.AttachContext(ctx, s.store, s.cfg.minSupport)
+		if err == nil {
+			s.attached = true
+		}
+	} else {
+		res, stats, err = s.inc.MaintainContext(ctx)
+	}
+	if err != nil {
+		return nil, MaintainStats(stats), err
+	}
+	s.last = wrapResult(res)
+	return s.last, MaintainStats(stats), nil
+}
+
+// Snapshot returns the store's current live transactions as an immutable
+// DB (the itemsets are shared with the store, not copied — treat the
+// snapshot as read-only and do not mutate the session while mining it).
+// Useful for verifying a maintained result against a one-shot Mine.
+func (s *Session) Snapshot() *DB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &DB{db: s.store.Snapshot()}
+}
+
+// Result returns the last maintained result (nil before the first
+// successful Mine). It may be stale with respect to later mutations.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Rules regenerates the association rules from the maintained frequent
+// set — itemset counts are maintained incrementally and rules are cheap
+// post-processing over them. It returns ErrClosed after Close and
+// assoc's ErrNotAttached error before the first successful Mine.
+func (s *Session) Rules(minConfidence float64) ([]Rule, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	rules, err := s.inc.Rules(minConfidence)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Rule, len(rules))
+	for i, rule := range rules {
+		out[i] = Rule{
+			Antecedent: rule.Antecedent,
+			Consequent: rule.Consequent,
+			Support:    rule.Support,
+			Confidence: rule.Confidence,
+			Lift:       rule.Lift,
+		}
+	}
+	return out, nil
+}
+
+// Close releases the engine's resources (the distributed transport's
+// worker goroutines or rpc connections). The session is unusable
+// afterwards; Close is idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
