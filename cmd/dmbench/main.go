@@ -14,6 +14,8 @@
 //	dmbench -dist         # run the EXP-P4 distributed overhead sweep
 //	dmbench -distworkers 4   # narrow the EXP-P4 worker ladder to one count
 //	dmbench -distjson BENCH_dist.json   # emit the EXP-P4 baseline
+//	dmbench -faultsjson BENCH_faults.json   # emit the EXP-F1 baseline
+//	dmbench -distfaults seed=1,err=0.1,kill=0.02   # seeded chaos smoke run
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 )
 
@@ -46,12 +49,18 @@ func run(args []string) error {
 		parallelJSON = fs.String("paralleljson", "", "write the EXP-P1 parallel baseline as JSON to this file and exit")
 		incJSON      = fs.String("incrementaljson", "", "write the EXP-P2 incremental baseline as JSON to this file and exit")
 		fpJSON       = fs.String("fpgrowthjson", "", "write the EXP-P3 pattern-growth baseline as JSON to this file and exit")
-		dist         = cliutil.AddDistFlags(fs,
+		distFlags    = cliutil.AddDistFlags(fs,
 			"run the EXP-P4 distributed overhead sweep (shorthand for -exp P4)",
 			"narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
-		distJSON = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
+		distJSON   = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
+		faultsJSON = fs.String("faultsjson", "", "write the EXP-F1 fault-tolerance baseline as JSON to this file and exit")
+		faultSpec  = cliutil.AddFaultsFlag(fs)
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
+		return err
+	}
+	faults, err := cliutil.ParseFaults(*faultSpec)
+	if err != nil {
 		return err
 	}
 
@@ -68,8 +77,8 @@ func run(args []string) error {
 	if n := *workersFlag; n != 1 {
 		experiments.DefaultWorkers = cliutil.ResolveWorkers(n)
 	}
-	if dist.Workers > 0 {
-		experiments.DistWorkerCounts = []int{dist.Workers}
+	if distFlags.Workers > 0 {
+		experiments.DistWorkerCounts = []int{distFlags.Workers}
 	}
 	// Baselines measure into memory first so a failed or interrupted sweep
 	// never truncates an existing file.
@@ -84,12 +93,38 @@ func run(args []string) error {
 		fmt.Printf("wrote %s baseline to %s\n", what, path)
 		return nil
 	}
+	if *faultsJSON != "" {
+		return writeBaseline(*faultsJSON, "fault-tolerance", func(buf *bytes.Buffer) error {
+			return experiments.WriteFaultsBaseline(buf, scale)
+		})
+	}
+	if faults != nil {
+		// -distfaults is the reproducible chaos smoke: mine the EXP-F1
+		// fixture under the seeded schedule and byte-check the result.
+		return experiments.RunFaultSmoke(os.Stdout, scale,
+			dist.FaultPlan{
+				Seed:           faults.Seed,
+				Drop:           faults.Drop,
+				Error:          faults.Err,
+				Kill:           faults.Kill,
+				Delay:          faults.Delay,
+				DelayProb:      faults.DelayProb,
+				PartitionAfter: faults.Partition,
+			},
+			dist.RetryPolicy{
+				MaxAttempts: faults.Attempts,
+				CallTimeout: faults.Timeout,
+				BaseBackoff: faults.Backoff,
+				MaxBackoff:  faults.MaxBackoff,
+				Seed:        faults.Seed,
+			})
+	}
 	if *distJSON != "" {
 		return writeBaseline(*distJSON, "distributed", func(buf *bytes.Buffer) error {
 			return experiments.WriteDistBaseline(buf, scale)
 		})
 	}
-	if dist.Dist {
+	if distFlags.Dist {
 		if err := experiments.RunP4(os.Stdout, scale); err != nil {
 			return fmt.Errorf("EXP-P4 failed: %w", err)
 		}

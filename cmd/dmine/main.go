@@ -4,7 +4,7 @@
 //
 //	dmine assoc    -in baskets.txt -minsup 0.01 -minconf 0.5 [-algo Apriori]
 //	               [-incremental -updates updates.txt -shardcap 1024 -verify]
-//	               [-dist -distworkers 4]
+//	               [-dist -distworkers 4 [-distfaults seed=1,err=0.1,kill=0.02]]
 //	dmine seq      -in sequences.txt -minsup 0.02 [-algo GSP]
 //	dmine cluster  -in points.csv -k 5 [-algo kmeans]
 //	dmine classify -in people.csv -class group [-algo tree] [-folds 10]
@@ -120,8 +120,16 @@ func runAssoc(args []string) error {
 	dist := cliutil.AddDistFlags(fs,
 		"mine through the distributed coordinator/worker backend (in-process transport; -algo selects Apriori or FPGrowth as the engine)",
 		"distributed: worker count for the in-process transport; 0 means GOMAXPROCS")
+	faultSpec := cliutil.AddFaultsFlag(fs)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return err
+	}
+	faults, err := cliutil.ParseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if faults != nil && !dist.Dist {
+		return fmt.Errorf("%w for assoc: -distfaults requires -dist", cliutil.ErrInvalidFlags)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -148,6 +156,30 @@ func runAssoc(args []string) error {
 		wn := dist.EffectiveWorkers()
 		opts = append(opts, mining.Transport(mining.LocalTransport(wn)))
 		fmt.Printf("distributed: %s engine over %d in-process workers (gob transport)\n", *algo, wn)
+		if faults != nil {
+			opts = append(opts,
+				mining.Retry(mining.RetrySpec{
+					MaxAttempts: faults.Attempts,
+					CallTimeout: faults.Timeout,
+					Backoff:     faults.Backoff,
+					MaxBackoff:  faults.MaxBackoff,
+					Seed:        faults.Seed,
+				}),
+				mining.Faults(mining.FaultSpec{
+					Seed:           faults.Seed,
+					Drop:           faults.Drop,
+					Error:          faults.Err,
+					Kill:           faults.Kill,
+					Delay:          faults.Delay,
+					DelayProb:      faults.DelayProb,
+					PartitionAfter: faults.Partition,
+				}))
+			// Echo the resolved schedule so a run is reproducible from its
+			// own output.
+			fmt.Printf("fault injection: seed=%d drop=%.3g err=%.3g kill=%.3g delay=%s delayprob=%.3g partition=%d timeout=%s attempts=%d backoff=%s\n",
+				faults.Seed, faults.Drop, faults.Err, faults.Kill, faults.Delay,
+				faults.DelayProb, faults.Partition, faults.Timeout, faults.Attempts, faults.Backoff)
+		}
 	}
 	ctx := context.Background()
 	var res *mining.Result
@@ -162,7 +194,11 @@ func runAssoc(args []string) error {
 	fmt.Printf("%s: %d transactions, %d frequent itemsets (max length %d)\n",
 		*algo, res.NumTx(), res.NumFrequent(), res.MaxLen())
 	for _, p := range res.Passes() {
-		fmt.Printf("  pass %d: %d candidates, %d frequent\n", p.K, p.Candidates, p.Frequent)
+		note := ""
+		if p.Degraded {
+			note = " (degraded: served by local fallback)"
+		}
+		fmt.Printf("  pass %d: %d candidates, %d frequent%s\n", p.K, p.Candidates, p.Frequent, note)
 	}
 	rules, err := res.Rules(sup.MinConf)
 	if err != nil {

@@ -58,6 +58,10 @@ type PassStat struct {
 	K          int // itemset length of the pass
 	Candidates int // candidates counted in the pass
 	Frequent   int // candidates that met minimum support
+	// Degraded marks a pass the distributed engine served through its
+	// local fallback after losing every worker — the counts are still
+	// exact, but nothing ran remotely. Always false on local engines.
+	Degraded bool
 }
 
 // Result is the output of any miner in this package.

@@ -2,6 +2,7 @@ package assoc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/dist"
@@ -51,11 +52,22 @@ type Distributed struct {
 	// Engine selects the mining strategy: DistEngineApriori (the default
 	// for "") or DistEngineFPGrowth. Both produce identical results.
 	Engine string
+	// Retry is the coordinator's fault policy (per-call deadline, retry
+	// budget, backoff); the zero value means the documented defaults.
+	// Applied at the start of every Mine, so it can be changed between
+	// mines but not during one.
+	Retry dist.RetryPolicy
+	// NoLocalFallback disables graceful degradation: with it set, losing
+	// every worker fails the mine with an error wrapping
+	// dist.ErrNoHealthyWorkers instead of falling back to local counting.
+	NoLocalFallback bool
 
-	hook  PassHook
-	coord *dist.Coordinator
-	store *transactions.ShardedDB
-	epoch uint64
+	hook     PassHook
+	coord    *dist.Coordinator
+	store    *transactions.ShardedDB
+	epoch    uint64
+	degraded bool
+	fallback *dist.Worker
 	// onStorePath remembers whether the last sync shipped store shards;
 	// switching between the plain and store paths resets the coordinator,
 	// since both use small-integer shard ids and a leftover plain-epoch
@@ -190,6 +202,16 @@ func (d *Distributed) Mine(db *transactions.DB, minSupport float64) (*Result, er
 // MineContext implements ContextMiner: the coordinator's shard shipping
 // and scan fan-outs all run under ctx, so cancellation unblocks mid-pass
 // even while a worker call is in flight.
+//
+// When the whole cluster is lost (every call path has exhausted retries
+// and failover, surfacing dist.ErrNoHealthyWorkers) and NoLocalFallback
+// is unset, the mine degrades instead of failing: the remaining scans run
+// on an in-process fallback worker holding the whole database as one
+// shard — the exact per-shard counting code the workers run, so the
+// result stays byte-identical — and every pass emitted from then on
+// carries PassStat.Degraded. Degradation lasts for the rest of that mine;
+// the next Mine tries the cluster again (and fails fast onto the fallback
+// while the workers stay marked down — Coordinator.Revive clears them).
 func (d *Distributed) MineContext(ctx context.Context, db *transactions.DB, minSupport float64) (*Result, error) {
 	minCount, err := checkInput(db, minSupport)
 	if err != nil {
@@ -202,9 +224,17 @@ func (d *Distributed) MineContext(ctx context.Context, db *transactions.DB, minS
 	default:
 		return nil, fmt.Errorf("assoc: unknown distributed engine %q", d.Engine)
 	}
+	d.degraded, d.fallback = false, nil
+	d.Coordinator().SetRetry(d.Retry)
 	numItems, err := d.sync(ctx, db)
 	if err != nil {
-		return nil, err
+		if !d.canDegrade(err) {
+			return nil, err
+		}
+		if derr := d.degrade(ctx, db); derr != nil {
+			return nil, derr
+		}
+		numItems = db.NumItems()
 	}
 	if d.Engine == DistEngineFPGrowth {
 		return d.mineFPGrowth(ctx, db, numItems, minCount)
@@ -212,13 +242,130 @@ func (d *Distributed) MineContext(ctx context.Context, db *transactions.DB, minS
 	return d.mineApriori(ctx, db, numItems, minCount)
 }
 
+// Degraded reports whether the last Mine fell back to local counting.
+func (d *Distributed) Degraded() bool { return d.degraded }
+
+// canDegrade reports whether err is the total-cluster-loss sentinel and
+// local fallback is allowed.
+func (d *Distributed) canDegrade(err error) bool {
+	return !d.NoLocalFallback && errors.Is(err, dist.ErrNoHealthyWorkers)
+}
+
+// degrade builds the local fallback: an in-process dist.Worker holding
+// the whole database as shard 0. Counting through the same Worker code
+// path the cluster runs keeps the degraded result byte-identical.
+func (d *Distributed) degrade(ctx context.Context, db *transactions.DB) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w := dist.NewWorker()
+	if err := w.Ship(dist.ShipArgs{Shards: []dist.ShardPayload{{ID: 0, Version: 1, Txs: db.Transactions}}}, &dist.ShipReply{}); err != nil {
+		return err
+	}
+	d.fallback = w
+	d.degraded = true
+	return nil
+}
+
+// fallbackIDs is the degraded scan target: the single whole-db shard.
+var fallbackIDs = []int{0}
+
+// countItems is the pass-1 scan, remote or degraded; a cluster lost
+// mid-mine degrades here and the scan reruns locally.
+func (d *Distributed) countItems(ctx context.Context, db *transactions.DB, numItems int) ([]int, error) {
+	if d.fallback != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var reply dist.CountsReply
+		if err := d.fallback.CountItems(dist.CountItemsArgs{ShardIDs: fallbackIDs, NumItems: numItems}, &reply); err != nil {
+			return nil, err
+		}
+		return reply.Counts, nil
+	}
+	counts, err := d.Coordinator().CountItems(ctx, numItems)
+	if err != nil && d.canDegrade(err) {
+		if derr := d.degrade(ctx, db); derr != nil {
+			return nil, derr
+		}
+		return d.countItems(ctx, db, numItems)
+	}
+	return counts, err
+}
+
+// countPairs is the triangular pass-2 scan, remote or degraded.
+func (d *Distributed) countPairs(ctx context.Context, db *transactions.DB, rank []int, n int) ([]int, error) {
+	if d.fallback != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var reply dist.CountsReply
+		if err := d.fallback.CountPairs(dist.CountPairsArgs{ShardIDs: fallbackIDs, Rank: rank, N: n}, &reply); err != nil {
+			return nil, err
+		}
+		return reply.Counts, nil
+	}
+	counts, err := d.Coordinator().CountPairs(ctx, rank, n)
+	if err != nil && d.canDegrade(err) {
+		if derr := d.degrade(ctx, db); derr != nil {
+			return nil, derr
+		}
+		return d.countPairs(ctx, db, rank, n)
+	}
+	return counts, err
+}
+
+// countCandidates is the pass-k (k >= 3) scan, remote or degraded.
+func (d *Distributed) countCandidates(ctx context.Context, db *transactions.DB, k, fanout, maxLeaf int, cands []transactions.Itemset) ([]int, error) {
+	if d.fallback != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var reply dist.CountsReply
+		if err := d.fallback.CountCandidates(dist.CountCandidatesArgs{ShardIDs: fallbackIDs, K: k, Fanout: fanout, MaxLeaf: maxLeaf, Candidates: cands}, &reply); err != nil {
+			return nil, err
+		}
+		return reply.Counts, nil
+	}
+	counts, err := d.Coordinator().CountCandidates(ctx, k, fanout, maxLeaf, cands)
+	if err != nil && d.canDegrade(err) {
+		if derr := d.degrade(ctx, db); derr != nil {
+			return nil, derr
+		}
+		return d.countCandidates(ctx, db, k, fanout, maxLeaf, cands)
+	}
+	return counts, err
+}
+
+// buildTree is the pattern-growth tree build, remote or degraded.
+func (d *Distributed) buildTree(ctx context.Context, db *transactions.DB, ranks *fptree.Ranks) (*fptree.Tree, error) {
+	if d.fallback != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var reply dist.TreeReply
+		if err := d.fallback.BuildTree(dist.BuildTreeArgs{ShardIDs: fallbackIDs, Ranks: ranks}, &reply); err != nil {
+			return nil, err
+		}
+		return fptree.Import(ranks, reply.Nodes)
+	}
+	tree, err := d.Coordinator().BuildTree(ctx, ranks)
+	if err != nil && d.canDegrade(err) {
+		if derr := d.degrade(ctx, db); derr != nil {
+			return nil, derr
+		}
+		return d.buildTree(ctx, db, ranks)
+	}
+	return tree, err
+}
+
 // mineApriori is Apriori.Mine with every counting scan remoted through the
-// coordinator; generation and thresholding stay local and identical.
+// coordinator (or the degraded fallback); generation and thresholding stay
+// local and identical.
 func (d *Distributed) mineApriori(ctx context.Context, db *transactions.DB, numItems, minCount int) (*Result, error) {
-	c := d.Coordinator()
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	counts, err := c.CountItems(ctx, numItems)
+	counts, err := d.countItems(ctx, db, numItems)
 	if err != nil {
 		return nil, err
 	}
@@ -228,20 +375,20 @@ func (d *Distributed) mineApriori(ctx context.Context, db *transactions.DB, numI
 			level = append(level, ItemsetCount{Items: transactions.Itemset{item}, Count: cnt})
 		}
 	}
-	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: len(level)}, level)
+	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: len(level), Degraded: d.degraded}, level)
 	for k := 2; len(level) > 0; k++ {
 		res.Levels = append(res.Levels, level)
 		if k == 2 {
 			n := len(level)
 			var l2 []ItemsetCount
 			if n >= 2 {
-				pairCounts, err := c.CountPairs(ctx, l1Ranks(level, numItems), n)
+				pairCounts, err := d.countPairs(ctx, db, l1Ranks(level, numItems), n)
 				if err != nil {
 					return nil, err
 				}
 				l2 = thresholdTriangle(level, pairCounts, minCount)
 			}
-			res.addPass(d.hook, PassStat{K: 2, Candidates: n * (n - 1) / 2, Frequent: len(l2)}, l2)
+			res.addPass(d.hook, PassStat{K: 2, Candidates: n * (n - 1) / 2, Frequent: len(l2), Degraded: d.degraded}, l2)
 			level = l2
 			continue
 		}
@@ -251,7 +398,7 @@ func (d *Distributed) mineApriori(ctx context.Context, db *transactions.DB, numI
 		}
 		maxLeaf := hashtree.DefaultMaxLeaf
 		fanout := adaptiveFanout(len(cands), k, maxLeaf)
-		candCounts, err := c.CountCandidates(ctx, k, fanout, maxLeaf, cands)
+		candCounts, err := d.countCandidates(ctx, db, k, fanout, maxLeaf, cands)
 		if err != nil {
 			return nil, err
 		}
@@ -262,28 +409,27 @@ func (d *Distributed) mineApriori(ctx context.Context, db *transactions.DB, numI
 			}
 		}
 		sortLevel(level)
-		res.addPass(d.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level)}, level)
+		res.addPass(d.hook, PassStat{K: k, Candidates: len(cands), Frequent: len(level), Degraded: d.degraded}, level)
 	}
 	return res, nil
 }
 
 // mineFPGrowth distributes the pass-1 scan and the tree build, then grows
 // patterns locally over the merged tree — FPGrowth.Mine with the two
-// database passes remoted.
+// database passes remoted (or served by the degraded fallback).
 func (d *Distributed) mineFPGrowth(ctx context.Context, db *transactions.DB, numItems, minCount int) (*Result, error) {
-	c := d.Coordinator()
 	res := &Result{MinCount: minCount, NumTx: db.Len()}
 
-	counts, err := c.CountItems(ctx, numItems)
+	counts, err := d.countItems(ctx, db, numItems)
 	if err != nil {
 		return nil, err
 	}
 	ranks := fptree.NewRanks(counts, minCount)
-	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: ranks.Len()}, nil)
+	res.addPass(d.hook, PassStat{K: 1, Candidates: numItems, Frequent: ranks.Len(), Degraded: d.degraded}, nil)
 	if ranks.Len() == 0 {
 		return res, nil
 	}
-	tree, err := c.BuildTree(ctx, ranks)
+	tree, err := d.buildTree(ctx, db, ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +438,6 @@ func (d *Distributed) mineFPGrowth(ctx context.Context, db *transactions.DB, num
 	if err != nil {
 		return nil, err
 	}
-	assembleGrowthLevels(res, d.hook, perRank)
+	assembleGrowthLevels(res, d.hook, perRank, d.degraded)
 	return res, nil
 }

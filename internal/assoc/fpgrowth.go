@@ -77,7 +77,7 @@ func (f *FPGrowth) MineContext(ctx context.Context, db *transactions.DB, minSupp
 	if err != nil {
 		return nil, err
 	}
-	assembleGrowthLevels(res, f.hook, perRank)
+	assembleGrowthLevels(res, f.hook, perRank, false)
 	return res, nil
 }
 
@@ -86,7 +86,9 @@ func (f *FPGrowth) MineContext(ctx context.Context, db *transactions.DB, minSupp
 // concatenation order cannot change the sorted levels — workers (and, for
 // the distributed engine, shard placement) only affect wall-clock time.
 // Each level's pass event fires once the level is sorted, i.e. final.
-func assembleGrowthLevels(res *Result, hook PassHook, perRank [][]ItemsetCount) {
+// degraded stamps every emitted pass (the distributed engine's fallback
+// marker; local engines pass false).
+func assembleGrowthLevels(res *Result, hook PassHook, perRank [][]ItemsetCount, degraded bool) {
 	for _, bucket := range perRank {
 		for _, ic := range bucket {
 			k := len(ic.Items)
@@ -103,7 +105,7 @@ func assembleGrowthLevels(res *Result, hook PassHook, perRank [][]ItemsetCount) 
 		sortLevel(res.Levels[k-1])
 		// Pattern growth generates no candidate sets; the per-pass stat
 		// mirrors the frequent count so pass tables stay comparable.
-		res.addPass(hook, PassStat{K: k, Candidates: len(res.Levels[k-1]), Frequent: len(res.Levels[k-1])}, res.Levels[k-1])
+		res.addPass(hook, PassStat{K: k, Candidates: len(res.Levels[k-1]), Frequent: len(res.Levels[k-1]), Degraded: degraded}, res.Levels[k-1])
 	}
 	sortLevel(res.Levels[0])
 }

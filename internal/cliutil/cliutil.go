@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // ErrInvalidFlags wraps every flag-parse failure Parse reports; commands
@@ -130,3 +133,105 @@ func AddDistFlags(fs *flag.FlagSet, distUsage, workersUsage string) *DistFlags {
 // EffectiveWorkers resolves -distworkers for the transport-sizing use:
 // <= 0 means GOMAXPROCS.
 func (d *DistFlags) EffectiveWorkers() int { return ResolveWorkers(d.Workers) }
+
+// AddFaultsFlag registers -distfaults, the reproducible fault-injection
+// schedule both commands accept. Parse the value with ParseFaults.
+func AddFaultsFlag(fs *flag.FlagSet) *string {
+	return fs.String("distfaults", "",
+		"distributed: seeded fault-injection schedule, e.g. 'seed=7,drop=0.05,err=0.1,kill=0.02,delay=1ms,delayprob=0.1,partition=40,timeout=250ms,attempts=3,backoff=2ms'")
+}
+
+// FaultSettings is a parsed -distfaults value: the injection schedule
+// (seed, probabilities, delay, partition) plus the retry policy that
+// makes it survivable (timeout, attempts, backoff). It stays a plain
+// value type so cliutil depends on neither the mining facade nor
+// internal/dist; each command maps it onto its own types.
+type FaultSettings struct {
+	Seed       int64
+	Drop       float64
+	Err        float64
+	Kill       float64
+	Delay      time.Duration
+	DelayProb  float64
+	Partition  int
+	Timeout    time.Duration
+	Attempts   int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// ParseFaults parses a -distfaults schedule: comma-separated key=value
+// pairs. Keys: seed (int), drop/err/kill/delayprob (probability in
+// [0, 1]), delay/timeout/backoff/maxbackoff (Go durations), partition
+// (calls before a full partition), attempts (tries per call). Unset keys
+// default to seed=1, attempts=3, backoff=2ms, timeout=250ms — a timeout
+// always applies because a schedule with drops would otherwise hang by
+// design. An empty spec returns (nil, nil): fault injection off.
+func ParseFaults(spec string) (*FaultSettings, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f := &FaultSettings{Seed: 1, Attempts: 3, Backoff: 2 * time.Millisecond, Timeout: 250 * time.Millisecond}
+	bad := func(kv string, err error) error {
+		return fmt.Errorf("%w: -distfaults %q: %v", ErrInvalidFlags, kv, err)
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, bad(kv, errors.New("want key=value"))
+		}
+		var err error
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			f.Drop, err = parseProb(val)
+		case "err", "error":
+			f.Err, err = parseProb(val)
+		case "kill":
+			f.Kill, err = parseProb(val)
+		case "delayprob":
+			f.DelayProb, err = parseProb(val)
+		case "delay":
+			f.Delay, err = time.ParseDuration(val)
+		case "timeout":
+			f.Timeout, err = time.ParseDuration(val)
+		case "backoff":
+			f.Backoff, err = time.ParseDuration(val)
+		case "maxbackoff":
+			f.MaxBackoff, err = time.ParseDuration(val)
+		case "partition":
+			f.Partition, err = strconv.Atoi(val)
+		case "attempts":
+			f.Attempts, err = strconv.Atoi(val)
+		default:
+			return nil, bad(kv, errors.New("unknown key"))
+		}
+		if err != nil {
+			return nil, bad(kv, err)
+		}
+	}
+	if sum := f.Drop + f.Err + f.Kill; sum > 1 {
+		return nil, fmt.Errorf("%w: -distfaults: drop+err+kill = %v > 1", ErrInvalidFlags, sum)
+	}
+	if f.Attempts < 1 || f.Partition < 0 || f.Timeout < 0 || f.Delay < 0 || f.Backoff < 0 || f.MaxBackoff < 0 {
+		return nil, fmt.Errorf("%w: -distfaults: negative or zero values where positive ones are required", ErrInvalidFlags)
+	}
+	return f, nil
+}
+
+// parseProb parses a probability and range-checks it into [0, 1].
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}

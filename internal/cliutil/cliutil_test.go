@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseInvalidFlags(t *testing.T) {
@@ -62,6 +63,80 @@ func TestParseValid(t *testing.T) {
 	}
 	if ExitCode(errors.New("boom")) != 1 {
 		t.Error("plain errors should exit 1")
+	}
+}
+
+func TestParseFaultsDefaults(t *testing.T) {
+	for _, empty := range []string{"", "   "} {
+		if f, err := ParseFaults(empty); f != nil || err != nil {
+			t.Errorf("ParseFaults(%q) = %+v, %v; want nil, nil", empty, f, err)
+		}
+	}
+	f, err := ParseFaults("drop=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A schedule with drops would hang by design without a call timeout,
+	// so the defaults must always carry one.
+	want := FaultSettings{Seed: 1, Drop: 0.05, Attempts: 3,
+		Backoff: 2 * time.Millisecond, Timeout: 250 * time.Millisecond}
+	if *f != want {
+		t.Errorf("ParseFaults defaults = %+v, want %+v", *f, want)
+	}
+}
+
+func TestParseFaultsFullSpec(t *testing.T) {
+	f, err := ParseFaults("seed=7, drop=0.05,err=0.1,kill=0.02,delay=1ms,delayprob=0.1,partition=40,timeout=50ms,attempts=5,backoff=3ms,maxbackoff=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultSettings{
+		Seed: 7, Drop: 0.05, Err: 0.1, Kill: 0.02,
+		Delay: time.Millisecond, DelayProb: 0.1, Partition: 40,
+		Timeout: 50 * time.Millisecond, Attempts: 5,
+		Backoff: 3 * time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+	}
+	if *f != want {
+		t.Errorf("ParseFaults full spec = %+v, want %+v", *f, want)
+	}
+	if g, err := ParseFaults("error=0.2"); err != nil || g.Err != 0.2 {
+		t.Errorf("'error' alias: %+v, %v", g, err)
+	}
+}
+
+func TestParseFaultsRejects(t *testing.T) {
+	for _, spec := range []string{
+		"drop",                      // no '='
+		"nosuch=1",                  // unknown key
+		"drop=abc",                  // not a float
+		"drop=1.5",                  // probability out of range
+		"kill=-0.1",                 // negative probability
+		"drop=0.5,err=0.4,kill=0.3", // probabilities sum past 1
+		"delay=fast",                // not a duration
+		"partition=-1",              // negative
+		"attempts=0",                // below 1
+		"timeout=-1ms",              // negative duration
+	} {
+		f, err := ParseFaults(spec)
+		if !errors.Is(err, ErrInvalidFlags) {
+			t.Errorf("ParseFaults(%q) = %+v, %v; want ErrInvalidFlags", spec, f, err)
+		}
+	}
+}
+
+func TestAddFaultsFlag(t *testing.T) {
+	fs := NewFlagSet("assoc")
+	fs.SetOutput(io.Discard)
+	spec := AddFaultsFlag(fs)
+	if err := Parse(fs, []string{"-distfaults", "seed=3,err=0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFaults(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seed != 3 || f.Err != 0.1 {
+		t.Errorf("round-trip = %+v", f)
 	}
 }
 

@@ -27,12 +27,38 @@
 // RPCTransport speaks net/rpc's gob codec to remote worker processes
 // (ServeWorker is the listening side). internal/assoc's Distributed miner
 // is the engine built on top of this package.
+//
+// # Fault model
+//
+// Workers are fail-stop with omission faults: a call may be slow, may
+// never be answered, or may fail with a connection-level error, and a
+// worker may die and stay dead. Transports surface those conditions as
+// errors wrapping ErrWorkerUnavailable; the coordinator adds per-call
+// deadlines (errors wrapping ErrCallTimeout) and retries both with capped
+// exponential backoff and deterministic seeded jitter, per RetryPolicy.
+// When a worker exhausts its retries the coordinator marks it down and
+// fails its replicas over: every shard placed on it is re-assigned
+// round-robin across the surviving workers and re-shipped from the
+// retained payloads through the same versioned Sync machinery. When no
+// healthy worker remains, calls fail with errors wrapping
+// ErrNoHealthyWorkers (the Distributed engine reacts by degrading to
+// local counting rather than failing the mine).
+//
+// The invariant all of this preserves is byte-identity under faults:
+// a shard's buffer is merged exactly once per scan no matter how many
+// attempts or placements it took to obtain, and merging is commutative
+// addition, so any mine that completes — through retries, failovers, or
+// none — returns exactly the bytes a local run returns, and any mine
+// that cannot complete returns a wrapped sentinel, never a partial
+// merge. FaultTransport (a deterministic, seeded fault-injecting
+// Transport wrapper) exists to test exactly this.
 package dist
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 
 	"repro/internal/fptree"
 	"repro/internal/transactions"
@@ -49,6 +75,16 @@ var (
 	ErrClosed = errors.New("dist: transport is closed")
 	// ErrNoWorkers reports a transport with no workers to place shards on.
 	ErrNoWorkers = errors.New("dist: transport has no workers")
+	// ErrWorkerUnavailable reports a connection-level failure talking to a
+	// worker — the retryable class of transport errors. Transports wrap it
+	// (%w) around the underlying cause.
+	ErrWorkerUnavailable = errors.New("dist: worker unavailable")
+	// ErrCallTimeout reports a call that exceeded the coordinator's
+	// per-call deadline (RetryPolicy.CallTimeout). Retryable.
+	ErrCallTimeout = errors.New("dist: call deadline exceeded")
+	// ErrNoHealthyWorkers reports that every worker has been marked down;
+	// the coordinator cannot place or scan shards until Revive.
+	ErrNoHealthyWorkers = errors.New("dist: no healthy workers")
 )
 
 // Transport method names, the vocabulary every Transport must route. They
@@ -161,6 +197,21 @@ func dispatch(w *Worker, method string, args, reply any) error {
 	default:
 		return fmt.Errorf("%w: %q", ErrBadMethod, method)
 	}
+}
+
+// freshReplyLike returns a new zero value of reply's pointed-to type. The
+// transports fill a fresh reply per request and copy it to the caller's
+// only on success, so a request abandoned on cancellation or timeout can
+// complete late without scribbling over a reply object the caller has
+// already moved on from (e.g. the retry loop's next attempt).
+func freshReplyLike(reply any) any {
+	return reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+}
+
+// copyReply shallow-copies *src into *dst (both pointers to the same
+// struct type) — the success leg of the fresh-reply protocol.
+func copyReply(dst, src any) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
 }
 
 // message returns fresh zero-valued args and reply instances for a method,

@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultKind names one injectable fault. FaultTransport draws kinds from a
+// seeded schedule (FaultPlan) or from scripted per-worker queues.
+type FaultKind int
+
+// The injectable fault kinds.
+const (
+	// FaultNone lets the call through untouched.
+	FaultNone FaultKind = iota
+	// FaultErr fails this one call with a wrapped ErrWorkerUnavailable;
+	// the next call may succeed — a one-shot connection blip.
+	FaultErr
+	// FaultKill fails this call and marks the worker dead for good — the
+	// sticky fail-stop fault. Every later call to it fails immediately.
+	FaultKill
+	// FaultDrop swallows the reply: the call blocks until ctx is done and
+	// returns ctx.Err(), exactly like a real transport whose worker never
+	// answered. Only a per-call deadline (RetryPolicy.CallTimeout) or a
+	// cancelled parent context unblocks it — schedules with Drop > 0 must
+	// set one or the mine hangs by design.
+	FaultDrop
+	// FaultDelay sleeps before forwarding the call — the slow-worker
+	// fault. It composes with success: the reply is real, just late.
+	FaultDelay
+)
+
+// FaultPlan is a seeded random fault schedule. Each call to worker w gets
+// an independent deterministic draw keyed by (Seed, w, per-worker call
+// index), so a plan replays bit-identically across runs, goroutine
+// schedules, and -count reruns. Drop, Error and Kill are cumulative
+// probabilities over one draw (their sum should stay <= 1); Delay fires
+// on a second independent draw so slowness composes with any outcome.
+type FaultPlan struct {
+	// Seed keys every draw; 0 means 1.
+	Seed int64
+	// Drop is the probability a call's reply is swallowed (FaultDrop).
+	Drop float64
+	// Error is the probability of a one-shot failure (FaultErr).
+	Error float64
+	// Kill is the probability the worker dies for good (FaultKill).
+	Kill float64
+	// Delay is how long a delayed call sleeps; DelayProb is the
+	// probability it does. Delay <= 0 disables delays regardless.
+	Delay     time.Duration
+	DelayProb float64
+	// PartitionAfter, when > 0, kills every worker once that many calls
+	// (counted across all workers) have entered the transport — the full
+	// network partition. From then on every call fails unavailable.
+	PartitionAfter int
+}
+
+// decide draws the fault for per-worker call idx to worker w.
+func (p FaultPlan) decide(w, idx int) (kind FaultKind, delayed bool) {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	u := unitFloat(mix64(uint64(seed), 0xfa01, uint64(w), uint64(idx)))
+	switch {
+	case u < p.Drop:
+		kind = FaultDrop
+	case u < p.Drop+p.Error:
+		kind = FaultErr
+	case u < p.Drop+p.Error+p.Kill:
+		kind = FaultKill
+	default:
+		kind = FaultNone
+	}
+	if p.Delay > 0 && p.DelayProb > 0 {
+		u2 := unitFloat(mix64(uint64(seed), 0xde1a, uint64(w), uint64(idx)))
+		delayed = u2 < p.DelayProb
+	}
+	return kind, delayed
+}
+
+// unitFloat maps a hash to [0, 1) with 53 uniform bits.
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// FaultStats counts what a FaultTransport actually injected — the ground
+// truth a chaos test correlates coordinator behaviour against.
+type FaultStats struct {
+	// Calls is every call that entered the transport.
+	Calls int
+	// Delayed, Dropped, Errored and Killed count injected faults by kind.
+	Delayed, Dropped, Errored, Killed int
+	// DeadRejects counts calls refused because the worker was already
+	// dead (killed earlier or partitioned).
+	DeadRejects int
+	// Partitioned reports that PartitionAfter fired.
+	Partitioned bool
+}
+
+// FaultTransport wraps any Transport and injects faults per a FaultPlan
+// and/or scripted per-worker queues (FailNext, KillWorker). It is safe
+// for the coordinator's concurrent per-worker fan-out; the draw for each
+// call depends only on (seed, worker, that worker's call index), never on
+// cross-worker interleaving, so schedules are deterministic under -race.
+type FaultTransport struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu     sync.Mutex
+	calls  int   // total calls, for PartitionAfter
+	idx    []int // per-worker call index, keys the draws
+	dead   []bool
+	queued [][]FaultKind
+	stats  FaultStats
+}
+
+// NewFaultTransport wraps inner with the given plan. The wrapper owns
+// inner: closing the FaultTransport closes it.
+func NewFaultTransport(inner Transport, plan FaultPlan) *FaultTransport {
+	n := inner.NumWorkers()
+	return &FaultTransport{
+		inner:  inner,
+		plan:   plan,
+		idx:    make([]int, n),
+		dead:   make([]bool, n),
+		queued: make([][]FaultKind, n),
+	}
+}
+
+// FailNext scripts the next calls to worker w: each queued kind is
+// consumed by one call, before any plan draw. Deterministic unit-test
+// fodder ("fail exactly the second CountItems").
+func (f *FaultTransport) FailNext(w int, kinds ...FaultKind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queued[w] = append(f.queued[w], kinds...)
+}
+
+// KillWorker marks worker w dead immediately, as if a FaultKill had fired.
+func (f *FaultTransport) KillWorker(w int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead[w] = true
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FaultTransport) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// NumWorkers implements Transport.
+func (f *FaultTransport) NumWorkers() int { return f.inner.NumWorkers() }
+
+// Call implements Transport, injecting the scheduled fault before (or
+// instead of) forwarding to the wrapped transport.
+func (f *FaultTransport) Call(ctx context.Context, w int, method string, args, reply any) error {
+	f.mu.Lock()
+	f.calls++
+	f.stats.Calls++
+	if f.plan.PartitionAfter > 0 && f.calls > f.plan.PartitionAfter && !f.stats.Partitioned {
+		f.stats.Partitioned = true
+		for i := range f.dead {
+			f.dead[i] = true
+		}
+	}
+	idx := f.idx[w]
+	f.idx[w]++
+	if f.dead[w] {
+		f.stats.DeadRejects++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: worker %d is dead (injected)", ErrWorkerUnavailable, w)
+	}
+	var kind FaultKind
+	var delayed bool
+	if len(f.queued[w]) > 0 {
+		kind = f.queued[w][0]
+		f.queued[w] = f.queued[w][1:]
+	} else {
+		kind, delayed = f.plan.decide(w, idx)
+	}
+	switch kind {
+	case FaultKill:
+		f.dead[w] = true
+		f.stats.Killed++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: worker %d killed (injected, call %d)", ErrWorkerUnavailable, w, idx)
+	case FaultErr:
+		f.stats.Errored++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: worker %d injected error (call %d)", ErrWorkerUnavailable, w, idx)
+	case FaultDrop:
+		f.stats.Dropped++
+		f.mu.Unlock()
+		<-ctx.Done()
+		return ctx.Err()
+	case FaultDelay:
+		delayed = true
+	}
+	if delayed {
+		f.stats.Delayed++
+		f.mu.Unlock()
+		if err := sleepContext(ctx, f.plan.Delay); err != nil {
+			return err
+		}
+	} else {
+		f.mu.Unlock()
+	}
+	return f.inner.Call(ctx, w, method, args, reply)
+}
+
+// Close implements Transport, closing the wrapped transport.
+func (f *FaultTransport) Close() error { return f.inner.Close() }

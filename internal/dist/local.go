@@ -64,12 +64,15 @@ func (t *LocalTransport) NumWorkers() int { return len(t.workers) }
 // makes the reverse trip, so no memory is shared across the "wire". A
 // cancelled ctx abandons the request: if the worker already took it, the
 // buffered done channel absorbs its eventual reply, so neither side
-// blocks or leaks.
+// blocks or leaks. The worker always fills a fresh reply value that is
+// copied into the caller's only on success, so an abandoned request that
+// completes late never scribbles over a reply object the caller has
+// handed to a retry.
 func (t *LocalTransport) Call(ctx context.Context, w int, method string, args, reply any) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	c := localCall{method: method, args: args, reply: reply, done: make(chan error, 1)}
+	c := localCall{method: method, args: args, reply: freshReplyLike(reply), done: make(chan error, 1)}
 	if t.Encode {
 		wireArgs, wireReply, err := message(method)
 		if err != nil {
@@ -106,6 +109,7 @@ func (t *LocalTransport) Call(ctx context.Context, w int, method string, args, r
 	if t.Encode {
 		return gobRoundTrip(c.reply, reply)
 	}
+	copyReply(reply, c.reply)
 	return nil
 }
 

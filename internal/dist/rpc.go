@@ -2,6 +2,8 @@ package dist
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net"
 	"net/rpc"
 )
@@ -39,15 +41,19 @@ type RPCTransport struct {
 }
 
 // DialRPC connects to one worker per address ("host:port", TCP). On any
-// dial failure the already-open connections are closed and the error is
-// returned.
+// dial failure the already-open connections are closed before returning,
+// so a mid-list failure leaks nothing, and the error wraps both the
+// failing address's cause and ErrWorkerUnavailable.
 func DialRPC(addrs []string) (*RPCTransport, error) {
 	t := &RPCTransport{}
 	for _, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
 		if err != nil {
-			t.Close()
-			return nil, err
+			if cerr := t.Close(); cerr != nil {
+				return nil, fmt.Errorf("%w: dial %s: %w (and closing prior connections: %w)",
+					ErrWorkerUnavailable, addr, err, cerr)
+			}
+			return nil, fmt.Errorf("%w: dial %s: %w", ErrWorkerUnavailable, addr, err)
 		}
 		t.clients = append(t.clients, c)
 	}
@@ -61,7 +67,12 @@ func (t *RPCTransport) NumWorkers() int { return len(t.clients) }
 // the local one, instead of panicking on the nil client slice. A cancelled
 // ctx abandons the in-flight rpc: net/rpc delivers the eventual reply to
 // the call's own done channel (buffered), so nothing leaks and the
-// connection stays usable.
+// connection stays usable — and because the rpc targets a fresh reply
+// value (copied to the caller's only on success), a late delivery never
+// corrupts a retry's reply. Connection-level failures (a shut-down
+// client, a broken pipe — anything that is not the worker speaking) come
+// back wrapping ErrWorkerUnavailable, the coordinator's retryable class;
+// errors the worker itself returned pass through verbatim.
 func (t *RPCTransport) Call(ctx context.Context, w int, method string, args, reply any) error {
 	if w < 0 || w >= len(t.clients) {
 		return ErrClosed
@@ -69,13 +80,30 @@ func (t *RPCTransport) Call(ctx context.Context, w int, method string, args, rep
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	call := t.clients[w].Go(workerService+"."+method, args, reply, make(chan *rpc.Call, 1))
+	fresh := freshReplyLike(reply)
+	call := t.clients[w].Go(workerService+"."+method, args, fresh, make(chan *rpc.Call, 1))
 	select {
 	case <-call.Done:
-		return call.Error
+		if call.Error != nil {
+			return wrapRPCError(w, call.Error)
+		}
+		copyReply(reply, fresh)
+		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// wrapRPCError classifies a net/rpc call error: a *rpc.ServerError is the
+// worker's own error string, returned as-is (deterministic, not worth a
+// retry); everything else is the connection failing underneath us and
+// wraps ErrWorkerUnavailable.
+func wrapRPCError(w int, err error) error {
+	var serverErr rpc.ServerError
+	if errors.As(err, &serverErr) {
+		return err
+	}
+	return fmt.Errorf("%w: worker %d: %w", ErrWorkerUnavailable, w, err)
 }
 
 // Close implements Transport, closing every connection and returning the

@@ -9,7 +9,9 @@
 // maintenance vs full re-mining), EXP-P3 writes BENCH_fpgrowth.json
 // (pattern growth vs candidate generation across a support ladder), and
 // EXP-P4 writes BENCH_dist.json (distributed shard-shipping overhead vs
-// local counting, with transport traffic counters). Every baseline records
+// local counting, with transport traffic counters), and EXP-F1 writes
+// BENCH_faults.json (fault-free cost of the retry/deadline layer plus the
+// recovery cost of one worker death). Every baseline records
 // heap allocations (alloc_bytes, allocs) alongside wall-clock so memory
 // regressions show up in the trajectory too.
 package experiments
@@ -68,6 +70,7 @@ func All() []Experiment {
 		{ID: "P2", Title: "Incremental maintenance: dirty-shard re-count vs full re-mine", Run: RunP2},
 		{ID: "P3", Title: "Pattern growth (FP-growth) vs candidate generation across supports", Run: RunP3},
 		{ID: "P4", Title: "Distributed mining: serialization and merge overhead vs local", Run: RunP4},
+		{ID: "F1", Title: "Fault tolerance: fault-free overhead and failover recovery", Run: RunF1},
 	}
 }
 

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func TestFaultsBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteFaultsBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base FaultsBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.MinSupport <= 0 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	want := len(p4Engines())
+	if len(base.Overhead) != want || len(base.Recovery) != want {
+		t.Fatalf("runs = %d overhead, %d recovery, want %d each",
+			len(base.Overhead), len(base.Recovery), want)
+	}
+	for _, r := range base.Overhead {
+		if r.BareMillis <= 0 || r.GuardedMillis <= 0 {
+			t.Errorf("%s: non-positive timing: %+v", r.Engine, r)
+		}
+		// A fault-free transport must trigger neither retries nor
+		// failovers; the overhead target itself is timing-dependent, so
+		// only the baseline generation asserts on it.
+		if r.Retries != 0 || r.Failovers != 0 {
+			t.Errorf("%s: fault-free run retried or failed over: %+v", r.Engine, r)
+		}
+	}
+	for _, r := range base.Recovery {
+		if r.Millis <= 0 {
+			t.Errorf("%s: non-positive recovery timing: %+v", r.Engine, r)
+		}
+		if r.Failovers < 1 {
+			t.Errorf("%s: recovery run recorded no failover: %+v", r.Engine, r)
+		}
+		if r.ShippedShards < 1 {
+			t.Errorf("%s: recovery run shipped nothing: %+v", r.Engine, r)
+		}
+	}
+}
+
+func TestRunF1PrintsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := RunF1(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXP-F1", "overhead", "recovery", "Apriori", "FPGrowth", "failovers"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	plan := dist.FaultPlan{Seed: 1, Drop: 0.02, Error: 0.1, Kill: 0.02, Delay: 100 * time.Microsecond, DelayProb: 0.1}
+	retry := dist.RetryPolicy{MaxAttempts: 3, CallTimeout: 250 * time.Millisecond,
+		BaseBackoff: 200 * time.Microsecond, MaxBackoff: 2 * time.Millisecond, Seed: 1}
+	if err := RunFaultSmoke(&buf, Quick, plan, retry); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("chaos smoke passed")) {
+		t.Errorf("smoke output missing pass line:\n%s", buf.String())
+	}
+}

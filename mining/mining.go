@@ -151,6 +151,11 @@ type PassStat struct {
 	K          int
 	Candidates int
 	Frequent   int
+	// Degraded marks a pass the distributed engine served locally after
+	// losing every worker (see the Faults and Retry options): the counts
+	// are still exact, but nothing ran remotely. Always false for local
+	// engines.
+	Degraded bool
 }
 
 // Rule is an association rule Antecedent => Consequent. Support is the

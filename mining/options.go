@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"repro/internal/assoc"
 	"repro/internal/dist"
@@ -38,6 +39,8 @@ type config struct {
 	algorithm  string
 	workers    int
 	transport  *TransportSpec
+	retry      *RetrySpec
+	faults     *FaultSpec
 	progress   func(PassStat)
 	shardCap   int
 	trackSlack float64
@@ -55,6 +58,14 @@ func newConfig(opts []Option) (*config, error) {
 	for _, opt := range opts {
 		if err := opt(cfg); err != nil {
 			return nil, err
+		}
+	}
+	if cfg.transport == nil {
+		if cfg.retry != nil {
+			return nil, fmt.Errorf("%w: Retry requires Transport (local engines have no calls to retry)", ErrBadOption)
+		}
+		if cfg.faults != nil {
+			return nil, fmt.Errorf("%w: Faults requires Transport (there is no transport to inject faults into)", ErrBadOption)
 		}
 	}
 	return cfg, nil
@@ -162,6 +173,91 @@ func Transport(spec TransportSpec) Option {
 	}
 }
 
+// RetrySpec tunes the distributed backend's fault handling; the zero
+// value of each field keeps its default. See Retry.
+type RetrySpec struct {
+	// MaxAttempts is the total tries per worker call (first attempt
+	// included); 0 means 3. 1 disables retries.
+	MaxAttempts int
+	// CallTimeout is the per-attempt deadline; 0 disables it. An attempt
+	// exceeding it counts as a retryable failure.
+	CallTimeout time.Duration
+	// Backoff is the pause before the second attempt; it doubles per
+	// retry (with deterministic jitter) up to MaxBackoff. 0 means 5ms.
+	Backoff time.Duration
+	// MaxBackoff caps the growth; 0 means 250ms.
+	MaxBackoff time.Duration
+	// Seed keys the jitter (and pairs with FaultSpec.Seed for replayable
+	// schedules); 0 means 1.
+	Seed int64
+}
+
+// Retry sets the distributed backend's retry policy: per-call deadlines,
+// a bounded number of attempts, and capped exponential backoff with
+// deterministic jitter. Retries are transparent — a mine that succeeds
+// after retries or worker failover returns exactly the bytes a fault-free
+// run returns. When every worker is lost the engine degrades to local
+// counting instead of failing; the affected passes carry
+// PassStat.Degraded. Requires Transport.
+func Retry(spec RetrySpec) Option {
+	return func(c *config) error {
+		if spec.MaxAttempts < 0 || spec.CallTimeout < 0 || spec.Backoff < 0 || spec.MaxBackoff < 0 {
+			return fmt.Errorf("%w: Retry(%+v) has negative fields", ErrBadOption, spec)
+		}
+		c.retry = &spec
+		return nil
+	}
+}
+
+// FaultSpec is a seeded random fault schedule for the distributed
+// backend — the public face of the deterministic fault-injection harness
+// the chaos tests run on. Drop, Error and Kill are per-call probabilities
+// in [0, 1] (cumulative over one draw, so their sum must stay <= 1). See
+// Faults.
+type FaultSpec struct {
+	// Seed keys every draw; the same seed replays the same schedule.
+	// 0 means 1.
+	Seed int64
+	// Drop is the probability a call's reply is swallowed; the call
+	// burns its full CallTimeout, so combine with Retry — with no
+	// deadline a dropped reply blocks until the context is cancelled.
+	Drop float64
+	// Error is the probability of a one-shot connection failure.
+	Error float64
+	// Kill is the probability the worker dies for good (sticky).
+	Kill float64
+	// Delay is how long a delayed call sleeps, with probability
+	// DelayProb; Delay <= 0 disables delays.
+	Delay     time.Duration
+	DelayProb float64
+	// PartitionAfter, when > 0, kills every worker once that many calls
+	// have entered the transport — a full partition mid-mine.
+	PartitionAfter int
+}
+
+// Faults wraps the transport in the deterministic fault injector — the
+// tool for rehearsing worker failures against real workloads (dmine and
+// dmbench expose it as -distfaults). Completed mines are still exact:
+// injected faults are absorbed by retries, failover or local degradation,
+// or surface as an error — never as wrong counts. Requires Transport.
+func Faults(spec FaultSpec) Option {
+	return func(c *config) error {
+		for _, p := range []float64{spec.Drop, spec.Error, spec.Kill, spec.DelayProb} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("%w: Faults(%+v) has probabilities outside [0, 1]", ErrBadOption, spec)
+			}
+		}
+		if sum := spec.Drop + spec.Error + spec.Kill; sum > 1 {
+			return fmt.Errorf("%w: Faults(%+v): Drop+Error+Kill = %v > 1", ErrBadOption, spec, sum)
+		}
+		if spec.PartitionAfter < 0 {
+			return fmt.Errorf("%w: Faults(%+v): negative PartitionAfter", ErrBadOption, spec)
+		}
+		c.faults = &spec
+		return nil
+	}
+}
+
 // ShardCap sets a session store's per-shard transaction capacity (rounded
 // up to a multiple of 64; smaller shards mean finer-grained incremental
 // re-counting, larger ones fewer version stamps). n == 0 keeps
@@ -218,6 +314,17 @@ func (c *config) buildMiner() (assoc.Miner, io.Closer, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if c.faults != nil {
+			t = dist.NewFaultTransport(t, dist.FaultPlan{
+				Seed:           c.faults.Seed,
+				Drop:           c.faults.Drop,
+				Error:          c.faults.Error,
+				Kill:           c.faults.Kill,
+				Delay:          c.faults.Delay,
+				DelayProb:      c.faults.DelayProb,
+				PartitionAfter: c.faults.PartitionAfter,
+			})
+		}
 		// The coordinator-side work (FPGrowth's projection fan-out over
 		// the merged tree) defaults to the transport's worker count, so a
 		// 4-worker transport parallelises the whole pipeline without a
@@ -227,6 +334,15 @@ func (c *config) buildMiner() (assoc.Miner, io.Closer, error) {
 			workers = t.NumWorkers()
 		}
 		d := &assoc.Distributed{Transport: t, Workers: workers, Engine: engine}
+		if c.retry != nil {
+			d.Retry = dist.RetryPolicy{
+				MaxAttempts: c.retry.MaxAttempts,
+				CallTimeout: c.retry.CallTimeout,
+				BaseBackoff: c.retry.Backoff,
+				MaxBackoff:  c.retry.MaxBackoff,
+				Seed:        c.retry.Seed,
+			}
+		}
 		return d, d, nil
 	}
 	for _, m := range assoc.Registered() {
