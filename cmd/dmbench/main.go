@@ -15,6 +15,7 @@
 //	dmbench -distworkers 4   # narrow the EXP-P4 worker ladder to one count
 //	dmbench -distjson BENCH_dist.json   # emit the EXP-P4 baseline
 //	dmbench -faultsjson BENCH_faults.json   # emit the EXP-F1 baseline
+//	dmbench -servejson BENCH_serve.json   # emit the EXP-SV1 serving baseline
 //	dmbench -distfaults seed=1,err=0.1,kill=0.02   # seeded chaos smoke run
 package main
 
@@ -54,6 +55,7 @@ func run(args []string) error {
 			"narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
 		distJSON   = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
 		faultsJSON = fs.String("faultsjson", "", "write the EXP-F1 fault-tolerance baseline as JSON to this file and exit")
+		serveJSON  = fs.String("servejson", "", "write the EXP-SV1 serving-tier baseline as JSON to this file and exit")
 		faultSpec  = cliutil.AddFaultsFlag(fs)
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
@@ -96,6 +98,11 @@ func run(args []string) error {
 	if *faultsJSON != "" {
 		return writeBaseline(*faultsJSON, "fault-tolerance", func(buf *bytes.Buffer) error {
 			return experiments.WriteFaultsBaseline(buf, scale)
+		})
+	}
+	if *serveJSON != "" {
+		return writeBaseline(*serveJSON, "serving-tier", func(buf *bytes.Buffer) error {
+			return experiments.WriteServeBaseline(buf, scale)
 		})
 	}
 	if faults != nil {

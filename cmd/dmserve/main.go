@@ -1,0 +1,195 @@
+// Command dmserve is the long-running rule-serving tier: it loads an
+// optional initial basket file into a mining session, then serves
+// HTTP/JSON (and optionally net/rpc) queries — top-k rules by support,
+// confidence or lift, itemset support lookups, per-antecedent
+// recommendations — while ingesting appends and deletes through a
+// bounded queue. Readers always see a complete, versioned rule set:
+// every Maintain publishes an immutable copy-on-write snapshot behind an
+// atomic pointer swap (see internal/serve).
+//
+// Usage:
+//
+//	dmserve -in baskets.txt -addr 127.0.0.1:8080
+//	        [-rpcaddr 127.0.0.1:8081]
+//	        [-minsup 0.01 -rulefloor 0.5 -algo Auto -workers 0 -shardcap 1024]
+//	        [-maintainafter 256 -maintainevery 2s -queue 1024 -cache 512]
+//	        [-dist -distworkers 4 [-distfaults seed=1,err=0.1,timeout=250ms]]
+//
+// Endpoints:
+//
+//	GET  /v1/rules?k=10&by=confidence|support|lift&minconf=0.6&antecedent=1,2
+//	GET  /v1/support?items=1,2
+//	GET  /v1/recommend?items=1,2&k=5
+//	GET  /v1/stats        GET /v1/healthz
+//	POST /v1/append       (body: basket lines)
+//	POST /v1/delete?tid=N
+//	POST /v1/flush        (drain queue, maintain, publish)
+//
+// With -dist the session's support counting fans out to in-process
+// distributed workers over the gob transport (the BindStore path: full
+// re-mines re-ship only dirty shards); -distfaults arms the seeded fault
+// injector plus the retry/failover layer on top, exactly as in dmine.
+// The server prints "listening on http://ADDR" once ready and exits
+// cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+	"repro/mining"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, nil)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "dmserve:", err)
+	}
+	os.Exit(cliutil.ExitCode(err))
+}
+
+// run parses flags, builds the server and serves until ctx is cancelled.
+// When ready is non-nil it receives the bound HTTP address once the
+// listener is up (the e2e test's readiness hook).
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := cliutil.NewFlagSet("dmserve")
+	var (
+		in       = fs.String("in", "", "optional initial basket file (one transaction per line)")
+		sup      = cliutil.AddSupportFlags(fs)
+		algo     = fs.String("algo", "Auto", "mining engine (see mining.Algorithms)")
+		workers  = cliutil.AddWorkersFlag(fs)
+		shardCap = fs.Int("shardcap", 0, "transactions per store shard (0 = 1024)")
+		sf       = cliutil.AddServeFlags(fs)
+		dist     = cliutil.AddDistFlags(fs,
+			"fan support counting out to the distributed backend (in-process gob transport)",
+			"distributed: worker count for the in-process transport; 0 means GOMAXPROCS")
+		faultSpec = cliutil.AddFaultsFlag(fs)
+	)
+	if err := cliutil.Parse(fs, args); err != nil {
+		return err
+	}
+	faults, err := cliutil.ParseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	if faults != nil && !dist.Dist {
+		return fmt.Errorf("%w for dmserve: -distfaults requires -dist", cliutil.ErrInvalidFlags)
+	}
+
+	opts := []mining.Option{
+		mining.Algorithm(*algo),
+		mining.Workers(cliutil.ResolveWorkers(*workers)),
+		mining.ShardCap(*shardCap),
+	}
+	if dist.Dist {
+		switch *algo {
+		case "Apriori", "FPGrowth", "Auto", "Distributed":
+		default:
+			return fmt.Errorf("-dist supports -algo Apriori or FPGrowth, not %q", *algo)
+		}
+		wn := dist.EffectiveWorkers()
+		opts = append(opts, mining.Transport(mining.LocalTransport(wn)))
+		fmt.Fprintf(stdout, "distributed: %s engine over %d in-process workers (gob transport)\n", *algo, wn)
+		if faults != nil {
+			opts = append(opts,
+				mining.Retry(mining.RetrySpec{
+					MaxAttempts: faults.Attempts,
+					CallTimeout: faults.Timeout,
+					Backoff:     faults.Backoff,
+					MaxBackoff:  faults.MaxBackoff,
+					Seed:        faults.Seed,
+				}),
+				mining.Faults(mining.FaultSpec{
+					Seed:           faults.Seed,
+					Drop:           faults.Drop,
+					Error:          faults.Err,
+					Kill:           faults.Kill,
+					Delay:          faults.Delay,
+					DelayProb:      faults.DelayProb,
+					PartitionAfter: faults.Partition,
+				}))
+			fmt.Fprintf(stdout, "fault injection: seed=%d drop=%.3g err=%.3g kill=%.3g timeout=%s attempts=%d\n",
+				faults.Seed, faults.Drop, faults.Err, faults.Kill, faults.Timeout, faults.Attempts)
+		}
+	}
+
+	var db *mining.DB
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		db, err = mining.ReadBasket(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := serve.New(db, serve.Config{
+		MinSupport:    sup.MinSup,
+		RuleFloor:     sf.RuleFloor,
+		QueueSize:     sf.Queue,
+		MaintainAfter: sf.MaintainAfter,
+		MaintainEvery: sf.MaintainEvery,
+		CacheSize:     sf.Cache,
+		Options:       opts,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", sf.Addr)
+	if err != nil {
+		return err
+	}
+	v := srv.View()
+	fmt.Fprintf(stdout, "dmserve: %d transactions, version %d, %d rules at floor\n",
+		v.NumTx(), v.Version(), len(v.Rules()))
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	if sf.RPCAddr != "" {
+		rln, err := net.Listen("tcp", sf.RPCAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer rln.Close()
+		go srv.ServeRPC(rln)
+		fmt.Fprintf(stdout, "rpc listening on %s (service %s)\n", rln.Addr(), serve.RPCService)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-errc // http.ErrServerClosed from Serve
+	fmt.Fprintln(stdout, "dmserve: shut down")
+	return nil
+}

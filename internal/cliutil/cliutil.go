@@ -134,6 +134,36 @@ func AddDistFlags(fs *flag.FlagSet, distUsage, workersUsage string) *DistFlags {
 // <= 0 means GOMAXPROCS.
 func (d *DistFlags) EffectiveWorkers() int { return ResolveWorkers(d.Workers) }
 
+// ServeFlags are cmd/dmserve's serving-tier flags: listen addresses and
+// the ingest/maintenance pacing knobs of internal/serve.
+type ServeFlags struct {
+	Addr          string
+	RPCAddr       string
+	MaintainAfter int
+	MaintainEvery time.Duration
+	Queue         int
+	Cache         int
+	RuleFloor     float64
+}
+
+// AddServeFlags registers -addr, -rpcaddr, -maintainafter,
+// -maintainevery, -queue, -cache and -rulefloor with dmserve's defaults
+// (0 values defer to internal/serve's documented defaults).
+func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "HTTP listen address")
+	fs.StringVar(&f.RPCAddr, "rpcaddr", "", "optional net/rpc (gob) listen address")
+	fs.IntVar(&f.MaintainAfter, "maintainafter", 0,
+		"ops between maintains (dirty threshold; 0 = 256)")
+	fs.DurationVar(&f.MaintainEvery, "maintainevery", 2*time.Second,
+		"additional timer-based maintain interval (0 = no timer)")
+	fs.IntVar(&f.Queue, "queue", 0, "bounded ingest queue size (0 = 1024)")
+	fs.IntVar(&f.Cache, "cache", 0, "query result cache entries (0 = 512; negative disables)")
+	fs.Float64Var(&f.RuleFloor, "rulefloor", 0,
+		"confidence floor of the published rule set in (0, 1] (0 = 0.5)")
+	return f
+}
+
 // AddFaultsFlag registers -distfaults, the reproducible fault-injection
 // schedule both commands accept. Parse the value with ParseFaults.
 func AddFaultsFlag(fs *flag.FlagSet) *string {
@@ -224,13 +254,15 @@ func ParseFaults(spec string) (*FaultSettings, error) {
 	return f, nil
 }
 
-// parseProb parses a probability and range-checks it into [0, 1].
+// parseProb parses a probability and range-checks it into [0, 1]. The
+// inverted comparison also rejects NaN, which would slip through a
+// `p < 0 || p > 1` check and corrupt every downstream probability sum.
 func parseProb(val string) (float64, error) {
 	p, err := strconv.ParseFloat(val, 64)
 	if err != nil {
 		return 0, err
 	}
-	if p < 0 || p > 1 {
+	if !(p >= 0 && p <= 1) {
 		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
 	}
 	return p, nil

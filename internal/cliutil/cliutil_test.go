@@ -156,3 +156,50 @@ func TestResolveWorkers(t *testing.T) {
 		t.Errorf("EffectiveWorkers(0) = %d, want %d", got, want)
 	}
 }
+
+func TestAddServeFlags(t *testing.T) {
+	fs := NewFlagSet("dmserve")
+	fs.SetOutput(io.Discard)
+	sf := AddServeFlags(fs)
+	if err := Parse(fs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Addr != "127.0.0.1:8080" || sf.RPCAddr != "" || sf.MaintainEvery != 2*time.Second {
+		t.Errorf("defaults = %+v", sf)
+	}
+	if sf.MaintainAfter != 0 || sf.Queue != 0 || sf.Cache != 0 || sf.RuleFloor != 0 {
+		t.Errorf("zero-means-package-default knobs not zero: %+v", sf)
+	}
+
+	fs = NewFlagSet("dmserve")
+	fs.SetOutput(io.Discard)
+	sf = AddServeFlags(fs)
+	args := []string{
+		"-addr", "0.0.0.0:9999", "-rpcaddr", "127.0.0.1:9998",
+		"-maintainafter", "64", "-maintainevery", "500ms",
+		"-queue", "32", "-cache", "-1", "-rulefloor", "0.75",
+	}
+	if err := Parse(fs, args); err != nil {
+		t.Fatal(err)
+	}
+	if sf.Addr != "0.0.0.0:9999" || sf.RPCAddr != "127.0.0.1:9998" ||
+		sf.MaintainAfter != 64 || sf.MaintainEvery != 500*time.Millisecond ||
+		sf.Queue != 32 || sf.Cache != -1 || sf.RuleFloor != 0.75 {
+		t.Errorf("parsed values = %+v", sf)
+	}
+
+	fs = NewFlagSet("dmserve")
+	fs.SetOutput(io.Discard)
+	AddServeFlags(fs)
+	if err := Parse(fs, []string{"-maintainevery", "soon"}); !errors.Is(err, ErrInvalidFlags) {
+		t.Errorf("bad duration: err = %v, want ErrInvalidFlags", err)
+	}
+}
+
+func TestParseFaultsRejectsNaN(t *testing.T) {
+	for _, spec := range []string{"drop=NaN", "err=nan", "kill=NaN", "delayprob=NaN"} {
+		if _, err := ParseFaults(spec); !errors.Is(err, ErrInvalidFlags) {
+			t.Errorf("ParseFaults(%q) = %v, want ErrInvalidFlags", spec, err)
+		}
+	}
+}

@@ -9,9 +9,12 @@
 // maintenance vs full re-mining), EXP-P3 writes BENCH_fpgrowth.json
 // (pattern growth vs candidate generation across a support ladder), and
 // EXP-P4 writes BENCH_dist.json (distributed shard-shipping overhead vs
-// local counting, with transport traffic counters), and EXP-F1 writes
+// local counting, with transport traffic counters), EXP-F1 writes
 // BENCH_faults.json (fault-free cost of the retry/deadline layer plus the
-// recovery cost of one worker death). Every baseline records
+// recovery cost of one worker death), and EXP-SV1 writes BENCH_serve.json
+// (serving-tier QPS and latency percentiles under a live update stream,
+// every sampled snapshot replay-verified against a from-scratch mine).
+// Every baseline records
 // heap allocations (alloc_bytes, allocs) alongside wall-clock so memory
 // regressions show up in the trajectory too.
 package experiments
@@ -71,6 +74,7 @@ func All() []Experiment {
 		{ID: "P3", Title: "Pattern growth (FP-growth) vs candidate generation across supports", Run: RunP3},
 		{ID: "P4", Title: "Distributed mining: serialization and merge overhead vs local", Run: RunP4},
 		{ID: "F1", Title: "Fault tolerance: fault-free overhead and failover recovery", Run: RunF1},
+		{ID: "SV1", Title: "Serving tier: concurrent reads under a live update stream", Run: RunSV1},
 	}
 }
 

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/mining"
+)
+
+// EXP-SV1 thresholds: supports low enough that the fixture yields a real
+// rule set, floors matching internal/serve's defaults scale.
+const (
+	sv1MinSup  = 0.02
+	sv1Floor   = 0.3
+	sv1Readers = 4
+	// sv1BatchOps is the ops per writer round (appends and deletes mixed).
+	sv1BatchOps = 6
+)
+
+// ServeBaseline is the machine-readable output of EXP-SV1, persisted as
+// BENCH_serve.json: query throughput and latency of the serving tier
+// under a live update stream, with every sampled snapshot replay-verified
+// byte-identical to a from-scratch mine at its version.
+type ServeBaseline struct {
+	Fixture    string  `json:"fixture"`
+	MinSupport float64 `json:"minsup"`
+	RuleFloor  float64 `json:"rule_floor"`
+	// Readers concurrent query goroutines; Rounds writer batches (each
+	// batch is sv1BatchOps ops followed by a synchronous flush/maintain).
+	Readers int `json:"readers"`
+	Rounds  int `json:"rounds"`
+	// OpsIngested is the total queue ops the update stream pushed.
+	OpsIngested int `json:"ops_ingested"`
+	// VersionsSampled counts distinct snapshot versions the readers
+	// observed; VersionsVerified counts those replay-verified
+	// byte-identical against a from-scratch mine (the two must be equal).
+	VersionsSampled  int `json:"versions_sampled"`
+	VersionsVerified int `json:"versions_verified"`
+	// Queries is the total completed reads; QPS the aggregate rate.
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	// P50Micros / P99Micros are query-latency percentiles across all
+	// readers and query kinds, in microseconds (cache hits are
+	// sub-microsecond, so milliseconds would round to zero).
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+	// CacheHits / CacheMisses are the server's LRU counters at the end of
+	// the run.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+	Note        string `json:"note,omitempty"`
+}
+
+// sv1Fixture builds the serving workload: correlated item pairs plus
+// noise, the same shape internal/serve's tests mine.
+func sv1Fixture(s Scale) ([][]int, string, int) {
+	n, rounds := 400, 12
+	if s == Full {
+		n, rounds = 2000, 30
+	}
+	rng := rand.New(rand.NewSource(17))
+	rows := make([][]int, n)
+	for i := range rows {
+		pair := rng.Intn(12) * 2
+		row := []int{pair, pair + 1}
+		for j := 0; j < 3; j++ {
+			row = append(row, rng.Intn(24))
+		}
+		rows[i] = row
+	}
+	return rows, fmt.Sprintf("SERVE.D%d", n), rounds
+}
+
+// sv1Sample is one reader's first observation of a snapshot version.
+type sv1Sample struct {
+	ops   uint64
+	canon []byte
+}
+
+// replayRows replays opLog[:ops] over the initial rows with the queue-op
+// semantics (append adds a row, delete removes the live row at TID,
+// out-of-range deletes dropped — exactly Server.apply).
+func replayRows(initial [][]int, opLog []serve.Op, ops uint64) [][]int {
+	rows := make([][]int, len(initial))
+	copy(rows, initial)
+	for _, op := range opLog[:ops] {
+		switch op.Kind {
+		case serve.OpAppend:
+			rows = append(rows, op.Items)
+		case serve.OpDelete:
+			if op.TID >= 0 && op.TID < len(rows) {
+				rows = append(rows[:op.TID:op.TID], rows[op.TID+1:]...)
+			}
+		}
+	}
+	return rows
+}
+
+// MeasureServeBaseline runs EXP-SV1: a serve.Server over the fixture,
+// sv1Readers goroutines issuing randomized rule/support/recommend
+// queries while a writer streams append/delete batches and flushes after
+// each; then every snapshot version any reader observed is replayed from
+// the op log and mined from scratch, and its canonical bytes must match
+// — the snapshot-consistency contract measured under load, not just
+// asserted in unit tests.
+func MeasureServeBaseline(s Scale) (*ServeBaseline, error) {
+	rows, fixture, rounds := sv1Fixture(s)
+	initial := make([][]int, len(rows))
+	copy(initial, rows)
+	db, err := mining.NewDB(rows)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(db, serve.Config{
+		MinSupport:    sv1MinSup,
+		RuleFloor:     sv1Floor,
+		MaintainAfter: 1 << 30, // flush-driven: versions advance only at round boundaries
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	base := &ServeBaseline{
+		Fixture:    fixture,
+		MinSupport: sv1MinSup,
+		RuleFloor:  sv1Floor,
+		Readers:    sv1Readers,
+		Rounds:     rounds,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	var (
+		mu      sync.Mutex
+		samples = map[uint64]sv1Sample{}
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+		lats    = make([][]time.Duration, sv1Readers)
+	)
+	ctx := context.Background()
+	start := time.Now()
+
+	// Readers: randomized queries against whatever snapshot is live,
+	// recording latency and the first observation of each version.
+	for r := 0; r < sv1Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := srv.View()
+				mu.Lock()
+				if _, ok := samples[v.Version()]; !ok {
+					samples[v.Version()] = sv1Sample{ops: v.Ops(), canon: v.Canonical()}
+				}
+				mu.Unlock()
+				t0 := time.Now()
+				var qerr error
+				bys := []serve.RankBy{serve.ByConfidence, serve.BySupport, serve.ByLift}
+				switch rng.Intn(3) {
+				case 0:
+					_, _, qerr = srv.TopRules(serve.RulesQuery{K: 1 + rng.Intn(20), By: bys[rng.Intn(len(bys))]})
+				case 1:
+					_, qerr = srv.ItemsetSupport(rng.Intn(24))
+				default:
+					_, _, qerr = srv.Recommend([]int{rng.Intn(24)}, 5)
+				}
+				if qerr != nil {
+					return // Close() raced the drain; the writer decides success
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+			}
+		}(r)
+	}
+
+	// Writer: the live update stream. Each round enqueues a batch and
+	// flushes, so every round publishes a fresh snapshot under the
+	// readers' feet.
+	wrng := rand.New(rand.NewSource(99))
+	var opLog []serve.Op
+	liveRows := len(initial)
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < sv1BatchOps; i++ {
+			var op serve.Op
+			if liveRows > len(initial)/2 && wrng.Intn(3) == 0 {
+				op = serve.Op{Kind: serve.OpDelete, TID: wrng.Intn(liveRows)}
+				liveRows--
+			} else {
+				pair := wrng.Intn(12) * 2
+				op = serve.Op{Kind: serve.OpAppend, Items: []int{pair, pair + 1, wrng.Intn(24)}}
+				liveRows++
+			}
+			opLog = append(opLog, op)
+			if err := srv.Enqueue(ctx, op); err != nil {
+				close(done)
+				wg.Wait()
+				return nil, err
+			}
+		}
+		if _, err := srv.Flush(ctx); err != nil {
+			close(done)
+			wg.Wait()
+			return nil, err
+		}
+		// Give the readers a scheduling window on the fresh snapshot, so
+		// the verification covers most published versions even on one CPU.
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate latency and throughput.
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("EXP-SV1: readers completed no queries")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx].Nanoseconds()) / 1000.0
+	}
+	base.Queries = len(all)
+	base.QPS = float64(len(all)) / elapsed.Seconds()
+	base.P50Micros = pct(0.50)
+	base.P99Micros = pct(0.99)
+	base.OpsIngested = len(opLog)
+
+	// Verify: every sampled version must be byte-identical to a
+	// from-scratch mine over the op log replayed to that version's
+	// position.
+	versions := make([]uint64, 0, len(samples))
+	for v := range samples {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	base.VersionsSampled = len(versions)
+	for _, ver := range versions {
+		smp := samples[ver]
+		replayed := replayRows(initial, opLog, smp.ops)
+		rdb, err := mining.NewDB(replayed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mining.Mine(ctx, rdb, mining.MinSupport(sv1MinSup))
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(res.Canonical(), smp.canon) {
+			return nil, fmt.Errorf("EXP-SV1: version %d (ops %d) diverges from a from-scratch mine", ver, smp.ops)
+		}
+		base.VersionsVerified++
+	}
+
+	stats := srv.Stats()
+	base.CacheHits, base.CacheMisses = stats.CacheHits, stats.CacheMisses
+	base.Note = "qps and latency measured while a writer streamed append/delete batches with a flush per round; " +
+		"every snapshot version any reader observed was replayed from the op log and byte-checked against a from-scratch mine"
+	return base, nil
+}
+
+// WriteServeBaseline emits the EXP-SV1 baseline as indented JSON.
+func WriteServeBaseline(w io.Writer, s Scale) error {
+	base, err := MeasureServeBaseline(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// RunSV1 prints the serving-tier load experiment: throughput, latency
+// percentiles and the replay-verification tally.
+func RunSV1(w io.Writer, s Scale) error {
+	header(w, "SV1", "serving tier: concurrent reads under a live update stream")
+	base, err := MeasureServeBaseline(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s at minsup %.3f, floor %.2f (%d readers, %d rounds, GOMAXPROCS=%d)\n",
+		base.Fixture, base.MinSupport, base.RuleFloor, base.Readers, base.Rounds, base.GOMAXPROCS)
+	fmt.Fprintf(w, "%-14s%12s%12s%12s%12s\n", "queries", "qps", "p50 us", "p99 us", "ops in")
+	fmt.Fprintf(w, "%-14d%12.0f%12.2f%12.2f%12d\n",
+		base.Queries, base.QPS, base.P50Micros, base.P99Micros, base.OpsIngested)
+	fmt.Fprintf(w, "\nsnapshots: %d versions sampled, %d replay-verified byte-identical; cache %d hits / %d misses\n",
+		base.VersionsSampled, base.VersionsVerified, base.CacheHits, base.CacheMisses)
+	if base.Note != "" {
+		fmt.Fprintf(w, "\nnote: %s\n", base.Note)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestServeBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteServeBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base ServeBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.MinSupport <= 0 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	if base.Queries < 1 || base.QPS <= 0 {
+		t.Fatalf("no throughput measured: %+v", base)
+	}
+	if base.P50Micros < 0 || base.P99Micros < base.P50Micros {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", base.P50Micros, base.P99Micros)
+	}
+	if base.OpsIngested == 0 {
+		t.Fatal("the update stream ingested nothing")
+	}
+	// The contract the baseline exists to measure: every snapshot any
+	// reader observed replay-verified byte-identical.
+	if base.VersionsSampled < 1 || base.VersionsVerified != base.VersionsSampled {
+		t.Fatalf("verification tally: %d sampled, %d verified",
+			base.VersionsSampled, base.VersionsVerified)
+	}
+}
+
+func TestRunSV1PrintsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := RunSV1(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXP-SV1", "qps", "p99 us", "replay-verified"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayRows(t *testing.T) {
+	initial := [][]int{{1, 2}, {3, 4}}
+	// Append two rows, drop an out-of-range delete, delete row 0 — the
+	// exact Server.apply semantics the verification relies on.
+	log := []serve.Op{
+		{Kind: serve.OpAppend, Items: []int{5, 6}},
+		{Kind: serve.OpAppend, Items: []int{7, 8}},
+		{Kind: serve.OpDelete, TID: 99},
+		{Kind: serve.OpDelete, TID: 0},
+	}
+	replayed := replayRows(initial, log, uint64(len(log)))
+	want := [][]int{{3, 4}, {5, 6}, {7, 8}}
+	if !reflect.DeepEqual(replayed, want) {
+		t.Fatalf("replayed %v, want %v", replayed, want)
+	}
+	// A shorter prefix replays fewer ops, and the initial rows stay
+	// untouched.
+	if got := replayRows(initial, log, 1); !reflect.DeepEqual(got, [][]int{{1, 2}, {3, 4}, {5, 6}}) {
+		t.Fatalf("prefix replay %v", got)
+	}
+	if !reflect.DeepEqual(initial, [][]int{{1, 2}, {3, 4}}) {
+		t.Fatalf("replay mutated the initial rows: %v", initial)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/mining"
+)
+
+// lruCache is the query-result cache: a classic map+list LRU keyed on
+// "v<version>|<normalized query>". Because the view version is part of
+// the key, a published version bump invalidates every prior entry by
+// construction — a stale result cannot be served — and dead-version
+// entries age out through normal LRU eviction. A capacity < 0 disables
+// caching (every lookup is a miss and nothing is stored).
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is one stored result.
+type cacheEntry struct {
+	key   string
+	rules []mining.Rule
+}
+
+// newLRUCache builds a cache holding up to capacity entries.
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// versionedKey prefixes a query key with the view version it was
+// computed from.
+func versionedKey(version uint64, key string) string {
+	return fmt.Sprintf("v%d|%s", version, key)
+}
+
+// get looks up the result for (version, key), promoting a hit to
+// most-recently-used.
+func (c *lruCache) get(version uint64, key string) ([]mining.Rule, bool) {
+	if c.cap < 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	k := versionedKey(version, key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).rules, true
+}
+
+// put stores the result for (version, key), evicting the least recently
+// used entry when the cache is full.
+func (c *lruCache) put(version uint64, key string, rules []mining.Rule) {
+	if c.cap <= 0 {
+		return
+	}
+	k := versionedKey(version, key)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).rules = rules
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, rules: rules})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// counters returns the hit and miss totals.
+func (c *lruCache) counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"errors"
+	"net/url"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRulesQuery drives the HTTP query parser with arbitrary query
+// strings: it must never panic, every accepted query must be a fixpoint
+// of normalize (so cache keys are stable), and every rejection must wrap
+// ErrBadQuery (the 400 class) — never anything the handler would turn
+// into a 500.
+func FuzzParseRulesQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"k=5&by=lift",
+		"k=0&by=confidence&minconf=0.5",
+		"antecedent=1,2,3&k=100",
+		"antecedent=3+1++2",
+		"by=support&minconf=1",
+		"k=-1",
+		"k=99999999999999999999",
+		"by=BOGUS",
+		"minconf=NaN",
+		"minconf=+Inf",
+		"minconf=1e-300",
+		"antecedent=-1",
+		"antecedent=,,,",
+		"antecedent=1,9223372036854775808",
+		"k=5&k=7",
+		"%zz=bad",
+		"antecedent=%31%2C%32",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		values, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Skip()
+		}
+		q, err := ParseRulesQuery(values)
+		if err != nil {
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("rejection %v does not wrap ErrBadQuery", err)
+			}
+			return
+		}
+		again, err := q.normalize()
+		if err != nil {
+			t.Fatalf("accepted query %+v fails re-normalization: %v", q, err)
+		}
+		if !reflect.DeepEqual(q, again) {
+			t.Fatalf("normalize is not a fixpoint: %+v != %+v", q, again)
+		}
+		if q.key() != again.key() {
+			t.Fatalf("cache key unstable for %+v", q)
+		}
+		if q.K < 1 || q.K > MaxTopK {
+			t.Fatalf("accepted query has out-of-bounds K %d", q.K)
+		}
+		for i, it := range q.Antecedent {
+			if it < 0 || (i > 0 && q.Antecedent[i-1] >= it) {
+				t.Fatalf("accepted antecedent not sorted/deduped/non-negative: %v", q.Antecedent)
+			}
+		}
+	})
+}
+
+// FuzzParseItems drives the item-list parser: no panics, rejections wrap
+// ErrBadQuery, accepted lists contain only non-negative ids within the
+// documented bound.
+func FuzzParseItems(f *testing.F) {
+	seeds := []string{
+		"",
+		"1,2,3",
+		"3 1\t2",
+		"0",
+		"-5",
+		"1,,2",
+		"9999999999999999999999",
+		"1;2",
+		"a b",
+		" 7 ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		items, err := ParseItems(raw)
+		if err != nil {
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("rejection %v does not wrap ErrBadQuery", err)
+			}
+			return
+		}
+		if len(items) > maxQueryItems {
+			t.Fatalf("accepted %d items over the %d limit", len(items), maxQueryItems)
+		}
+		for _, it := range items {
+			if it < 0 {
+				t.Fatalf("accepted negative item %d", it)
+			}
+		}
+		if _, err := normalizeItems(items); err != nil {
+			t.Fatalf("accepted items %v fail normalization: %v", items, err)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/mining"
+)
+
+// maxIngestBody bounds one POST /v1/append body (16 MiB).
+const maxIngestBody = 16 << 20
+
+// ruleJSON is the wire form of one rule.
+type ruleJSON struct {
+	Antecedent []int   `json:"antecedent"`
+	Consequent []int   `json:"consequent"`
+	Support    int     `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+}
+
+// rulesResponse is the wire form of the rule-query endpoints.
+type rulesResponse struct {
+	Version uint64     `json:"version"`
+	NumTx   int        `json:"num_tx"`
+	Rules   []ruleJSON `json:"rules"`
+}
+
+// toRuleJSON adapts the facade rules to the wire form.
+func toRuleJSON(rules []mining.Rule) []ruleJSON {
+	out := make([]ruleJSON, len(rules))
+	for i, r := range rules {
+		out[i] = ruleJSON{
+			Antecedent: r.Antecedent,
+			Consequent: r.Consequent,
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		}
+	}
+	return out
+}
+
+// Handler returns the HTTP/JSON query and ingest surface:
+//
+//	GET  /v1/rules?k=&by=&minconf=&antecedent=   top-k rules
+//	GET  /v1/support?items=1,2                   itemset support lookup
+//	GET  /v1/recommend?items=1,2&k=              per-antecedent recommendation
+//	GET  /v1/stats                               server counters
+//	GET  /v1/healthz                             liveness
+//	POST /v1/append                              basket lines to enqueue
+//	POST /v1/delete?tid=N                        enqueue one delete
+//	POST /v1/flush                               drain queue, maintain, publish
+//
+// Query errors map to 400, everything else to 500; responses are JSON.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/rules", s.handleRules)
+	mux.HandleFunc("GET /v1/support", s.handleSupport)
+	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/append", s.handleAppend)
+	mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	return mux
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to its status code and a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadQuery):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrServerClosed):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// handleRules serves GET /v1/rules.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	q, err := ParseRulesQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rules, version, err := s.TopRules(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rulesResponse{Version: version, NumTx: s.View().NumTx(), Rules: toRuleJSON(rules)})
+}
+
+// handleSupport serves GET /v1/support.
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	items, err := ParseItems(r.URL.Query().Get("items"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.ItemsetSupport(items...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleRecommend serves GET /v1/recommend.
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	values := r.URL.Query()
+	items, err := ParseItems(values.Get("items"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k := 0
+	if raw := values.Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: k=%q: %v", ErrBadQuery, raw, err))
+			return
+		}
+	}
+	rules, version, err := s.Recommend(items, k)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, rulesResponse{Version: version, NumTx: s.View().NumTx(), Rules: toRuleJSON(rules)})
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// handleAppend serves POST /v1/append: the body is basket lines
+// (whitespace-separated item ids, one transaction per line), each
+// enqueued as one OpAppend. The enqueue respects the request context, so
+// a client timeout unblocks a full queue's backpressure.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	enqueued := 0
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		items, err := ParseItems(line)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if len(items) == 0 {
+			continue
+		}
+		if err := s.Enqueue(r.Context(), Op{Kind: OpAppend, Items: items}); err != nil {
+			writeError(w, err)
+			return
+		}
+		enqueued++
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadQuery, err))
+		return
+	}
+	writeJSON(w, map[string]int{"enqueued": enqueued})
+}
+
+// handleDelete serves POST /v1/delete?tid=N.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("tid")
+	tid, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: tid=%q: %v", ErrBadQuery, raw, err))
+		return
+	}
+	if tid < 0 {
+		writeError(w, fmt.Errorf("%w: negative tid %d", ErrBadQuery, tid))
+		return
+	}
+	if err := s.Enqueue(r.Context(), Op{Kind: OpDelete, TID: tid}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]int{"enqueued": 1})
+}
+
+// handleFlush serves POST /v1/flush.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Flush(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"version": v.Version(),
+		"num_tx":  v.NumTx(),
+		"ops":     v.Ops(),
+	})
+}

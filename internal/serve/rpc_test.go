@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"net"
+	"net/rpc"
+	"reflect"
+	"testing"
+)
+
+// dialRPC starts the server's rpc listener on a loopback port and
+// returns a connected client.
+func dialRPC(t *testing.T, srv *Server) *rpc.Client {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.ServeRPC(l)
+	t.Cleanup(func() { l.Close() })
+	client, err := rpc.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestRPCQueryPath(t *testing.T) {
+	srv := newTestServer(t, fixtureRows(200, 16, 31), Config{})
+	client := dialRPC(t, srv)
+
+	var rules RulesReply
+	if err := client.Call(RPCService+".TopRules", RulesArgs{K: 5, By: "support"}, &rules); err != nil {
+		t.Fatalf("TopRules: %v", err)
+	}
+	want, version, err := srv.TopRules(RulesQuery{K: 5, By: BySupport})
+	if err != nil {
+		t.Fatalf("direct TopRules: %v", err)
+	}
+	if rules.Version != version || !reflect.DeepEqual(rules.Rules, want) {
+		t.Fatal("rpc rules diverge from the direct API")
+	}
+
+	var sup SupportResult
+	if err := client.Call(RPCService+".Support", SupportArgs{Items: []int{2, 3}}, &sup); err != nil {
+		t.Fatalf("Support: %v", err)
+	}
+	wantSup, err := srv.ItemsetSupport(2, 3)
+	if err != nil {
+		t.Fatalf("direct support: %v", err)
+	}
+	if !reflect.DeepEqual(sup, wantSup) {
+		t.Fatalf("rpc support %+v != direct %+v", sup, wantSup)
+	}
+
+	var rec RulesReply
+	if err := client.Call(RPCService+".Recommend", RecommendArgs{Items: []int{2}, K: 3}, &rec); err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	wantRec, _, err := srv.Recommend([]int{2}, 3)
+	if err != nil {
+		t.Fatalf("direct recommend: %v", err)
+	}
+	if !reflect.DeepEqual(rec.Rules, wantRec) {
+		t.Fatal("rpc recommend diverges from the direct API")
+	}
+
+	var stats Stats
+	if err := client.Call(RPCService+".Stats", struct{}{}, &stats); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if stats.Version != 1 || stats.NumTx != 200 {
+		t.Fatalf("rpc stats %+v", stats)
+	}
+}
+
+func TestRPCBadQuery(t *testing.T) {
+	srv := newTestServer(t, fixtureRows(60, 12, 32), Config{})
+	client := dialRPC(t, srv)
+	var rules RulesReply
+	if err := client.Call(RPCService+".TopRules", RulesArgs{K: -1}, &rules); err == nil {
+		t.Fatal("negative top-k over rpc did not error")
+	}
+	var sup SupportResult
+	if err := client.Call(RPCService+".Support", SupportArgs{}, &sup); err == nil {
+		t.Fatal("empty support lookup over rpc did not error")
+	}
+}

@@ -1,0 +1,476 @@
+// Package serve is the long-running query tier over mining.Session: the
+// piece that turns the incremental/distributed mining library into a
+// service handling thousands of concurrent readers while an update
+// stream runs.
+//
+// # Snapshot-consistency contract
+//
+// The server separates one writer from many readers. A single ingest
+// goroutine drains a bounded queue of Ops (appends and deletes) into the
+// session and triggers Maintain on a dirty-op threshold or a timer. Each
+// completed Maintain publishes an immutable View — version, maintained
+// Result, the rule set at the configured confidence floor, and the
+// result's canonical bytes — behind one atomic pointer swap
+// (copy-on-write). Readers load the pointer and never take a lock, so
+// queries never block the maintainer and the maintainer never blocks
+// queries. The contract, pinned by the concurrency property tests:
+//
+//   - every published View is internally consistent: its Result and rules
+//     are byte-identical to a from-scratch mine over the store's contents
+//     after exactly View.Ops() queue operations were applied;
+//   - versions are strictly monotone: a reader that observed version v
+//     never later observes a version < v;
+//   - a View, once obtained, never changes — readers may hold it across
+//     any number of concurrent Maintains.
+//
+// Query results (top-k rules, recommendations) are cached in a small LRU
+// keyed on (view version, normalized query), so a version bump can never
+// serve a stale entry: the new version misses by construction.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/mining"
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	// DefaultRuleFloor is the confidence floor of the published rule set.
+	DefaultRuleFloor = 0.5
+	// DefaultQueueSize bounds the ingest queue; Enqueue blocks when full.
+	DefaultQueueSize = 1024
+	// DefaultMaintainAfter is the dirty-op count that triggers a Maintain.
+	DefaultMaintainAfter = 256
+	// DefaultCacheSize is the query-result LRU's entry capacity.
+	DefaultCacheSize = 512
+)
+
+// Errors returned by the server.
+var (
+	// ErrServerClosed reports use of a server after Close.
+	ErrServerClosed = errors.New("serve: server is closed")
+	// ErrBadQuery reports an invalid query (unknown rank key, negative
+	// top-k, malformed item list); HTTP handlers map it to 400.
+	ErrBadQuery = errors.New("serve: invalid query")
+	// ErrBadConfig reports an invalid Config field.
+	ErrBadConfig = errors.New("serve: invalid config")
+)
+
+// OpKind selects an ingest mutation.
+type OpKind int
+
+// The two ingest mutations, mirroring Session.Append and Session.DeleteAt.
+const (
+	// OpAppend appends Op.Items as one transaction.
+	OpAppend OpKind = iota
+	// OpDelete deletes the live transaction with id Op.TID.
+	OpDelete
+)
+
+// Op is one queued store mutation. Ops are applied in queue order by the
+// single ingest goroutine; an op that the store rejects (negative item
+// ids, an out-of-range TID) is counted in Stats.IngestErrors and dropped
+// — it still advances the op sequence, so replay-based verification must
+// mirror the same skip.
+type Op struct {
+	// Kind selects the mutation.
+	Kind OpKind
+	// Items is the transaction to append (OpAppend only).
+	Items []int
+	// TID is the live transaction id to delete (OpDelete only).
+	TID int
+}
+
+// Config tunes a Server. The zero value of every field selects a
+// documented default; Options forwards arbitrary mining options
+// (Algorithm, Workers, Transport, ShardCap, TrackSlack...) to the
+// underlying session, which is how a serving tier fans counting out to
+// distributed workers.
+type Config struct {
+	// MinSupport is the session's relative minimum support
+	// (0 = mining.DefaultMinSupport).
+	MinSupport float64
+	// RuleFloor is the minimum confidence of the published rule set in
+	// (0, 1] (0 = DefaultRuleFloor). Queries filter at or above it; a
+	// query asking below the floor is answered from the floor set.
+	RuleFloor float64
+	// QueueSize bounds the ingest queue (0 = DefaultQueueSize).
+	QueueSize int
+	// MaintainAfter triggers a Maintain once that many ops were applied
+	// since the last publish (0 = DefaultMaintainAfter).
+	MaintainAfter int
+	// MaintainEvery additionally triggers a Maintain on a timer when at
+	// least one op is pending (0 = no timer).
+	MaintainEvery time.Duration
+	// CacheSize is the query-result LRU capacity in entries
+	// (0 = DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// Options are extra mining options for the session.
+	Options []mining.Option
+}
+
+// withDefaults resolves zero fields and validates the rest.
+func (c Config) withDefaults() (Config, error) {
+	if c.MinSupport == 0 {
+		c.MinSupport = mining.DefaultMinSupport
+	}
+	if c.RuleFloor == 0 {
+		c.RuleFloor = DefaultRuleFloor
+	}
+	if c.RuleFloor < 0 || c.RuleFloor > 1 {
+		return c, fmt.Errorf("%w: RuleFloor %v outside (0, 1]", ErrBadConfig, c.RuleFloor)
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.QueueSize < 0 {
+		return c, fmt.Errorf("%w: negative QueueSize %d", ErrBadConfig, c.QueueSize)
+	}
+	if c.MaintainAfter == 0 {
+		c.MaintainAfter = DefaultMaintainAfter
+	}
+	if c.MaintainAfter < 0 {
+		return c, fmt.Errorf("%w: negative MaintainAfter %d", ErrBadConfig, c.MaintainAfter)
+	}
+	if c.MaintainEvery < 0 {
+		return c, fmt.Errorf("%w: negative MaintainEvery %v", ErrBadConfig, c.MaintainEvery)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	return c, nil
+}
+
+// View is one immutable published snapshot: a version-stamped frequent
+// set plus its rule set. Readers obtain one with Server.View (or
+// implicitly through the query methods) and may hold it indefinitely —
+// it never changes after publication. A View with Empty() true reports
+// an empty store (version 0 before the first publish, or the store was
+// drained by deletes).
+type View struct {
+	version uint64
+	ops     uint64
+	numTx   int
+	stats   mining.MaintainStats
+	res     *mining.Result
+	rules   []mining.Rule
+	canon   []byte
+}
+
+// Version is the publish sequence number, strictly increasing from 1
+// (0 is the pre-first-publish empty view).
+func (v *View) Version() uint64 { return v.version }
+
+// Ops is the number of queue operations consumed when this view was
+// mined — the replay point for from-scratch verification.
+func (v *View) Ops() uint64 { return v.ops }
+
+// NumTx is the number of live transactions mined into this view.
+func (v *View) NumTx() int { return v.numTx }
+
+// MaintainStats reports the work of the Maintain that produced this view.
+func (v *View) MaintainStats() mining.MaintainStats { return v.stats }
+
+// Empty reports whether the view holds no mined result (empty store).
+func (v *View) Empty() bool { return v.res == nil }
+
+// Rules returns the published rule set at the server's confidence floor,
+// in assoc.GenerateRules order (confidence desc, support desc, antecedent
+// order). The slice is shared and read-only.
+func (v *View) Rules() []mining.Rule { return v.rules }
+
+// Canonical returns the deterministic byte encoding of the view's
+// frequent levels — byte-identical to Result.Canonical of a from-scratch
+// mine at this version. The slice is shared and read-only; nil for an
+// empty view.
+func (v *View) Canonical() []byte { return v.canon }
+
+// Support returns the absolute support of items if the itemset is
+// frequent in this view.
+func (v *View) Support(items ...int) (int, bool) {
+	if v.res == nil {
+		return 0, false
+	}
+	return v.res.Support(items...)
+}
+
+// Stats is a point-in-time counter snapshot of a server.
+type Stats struct {
+	// Version is the current published view's version.
+	Version uint64 `json:"version"`
+	// NumTx is the current view's transaction count.
+	NumTx int `json:"num_tx"`
+	// Ops is the number of queue operations consumed so far.
+	Ops uint64 `json:"ops"`
+	// QueueLen is the current ingest-queue depth.
+	QueueLen int `json:"queue_len"`
+	// Maintains counts published views; FullRuns counts the ones whose
+	// Maintain fell back to a full re-mine.
+	Maintains uint64 `json:"maintains"`
+	// FullRuns counts maintains that fell back to a full re-mine.
+	FullRuns uint64 `json:"full_runs"`
+	// IngestErrors counts ops the store rejected.
+	IngestErrors uint64 `json:"ingest_errors"`
+	// CacheHits and CacheMisses are the query-result LRU counters.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts cache lookups that had to compute the result.
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Server is the long-running query tier: one ingest goroutine feeding a
+// mining.Session, an atomically swapped immutable View for readers, and
+// a version-keyed query cache. All methods are safe for concurrent use;
+// the query methods never block on ingestion or maintenance.
+type Server struct {
+	cfg     Config
+	session *mining.Session
+	view    atomic.Pointer[View]
+	cache   *lruCache
+
+	ops     chan Op
+	flushCh chan chan flushReply
+	quit    chan struct{}
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
+
+	consumed     atomic.Uint64
+	maintains    atomic.Uint64
+	fullRuns     atomic.Uint64
+	ingestErrors atomic.Uint64
+}
+
+// flushReply is the synchronous answer to a Flush request.
+type flushReply struct {
+	view *View
+	err  error
+}
+
+// New builds a server over an initial database (nil or empty starts
+// empty), publishes the initial view (version 1 when db is non-empty),
+// and starts the ingest loop. Close releases it.
+func New(db *mining.DB, cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	opts := append([]mining.Option{mining.MinSupport(cfg.MinSupport)}, cfg.Options...)
+	session, err := mining.NewSession(db, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		session: session,
+		cache:   newLRUCache(cfg.CacheSize),
+		ops:     make(chan Op, cfg.QueueSize),
+		flushCh: make(chan chan flushReply),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.view.Store(&View{}) // version 0: empty until the first publish
+	if db.Len() > 0 {
+		if err := s.maintainPublish(context.Background()); err != nil {
+			session.Close()
+			return nil, err
+		}
+	}
+	go s.loop()
+	return s, nil
+}
+
+// View returns the current published view (never nil).
+func (s *Server) View() *View { return s.view.Load() }
+
+// Stats returns a point-in-time counter snapshot.
+func (s *Server) Stats() Stats {
+	v := s.View()
+	hits, misses := s.cache.counters()
+	return Stats{
+		Version:      v.Version(),
+		NumTx:        v.NumTx(),
+		Ops:          s.consumed.Load(),
+		QueueLen:     len(s.ops),
+		Maintains:    s.maintains.Load(),
+		FullRuns:     s.fullRuns.Load(),
+		IngestErrors: s.ingestErrors.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	}
+}
+
+// Enqueue adds one op to the bounded ingest queue, blocking while the
+// queue is full (backpressure). It returns ErrServerClosed after Close
+// and ctx.Err() if the context ends first. The op becomes visible to
+// readers only after a later Maintain publishes a new view.
+func (s *Server) Enqueue(ctx context.Context, op Op) error {
+	select {
+	case <-s.quit:
+		return ErrServerClosed
+	default:
+	}
+	select {
+	case s.ops <- op:
+		return nil
+	case <-s.quit:
+		return ErrServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Flush synchronously drains the queue and, if any op was applied since
+// the last publish (or nothing was ever published), runs one Maintain
+// and publishes the resulting view — the deterministic trigger tests and
+// bulk loads use. It returns the now-current view.
+func (s *Server) Flush(ctx context.Context) (*View, error) {
+	reply := make(chan flushReply, 1)
+	select {
+	case s.flushCh <- reply:
+	case <-s.quit:
+		return nil, ErrServerClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-reply:
+		return r.view, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the ingest loop (pending queued ops are dropped) and
+// releases the session. It is idempotent.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	s.closeMu.Unlock()
+	<-s.done
+	return s.session.Close()
+}
+
+// loop is the single ingest goroutine: it owns every session mutation.
+func (s *Server) loop() {
+	defer close(s.done)
+	var tick <-chan time.Time
+	if s.cfg.MaintainEvery > 0 {
+		t := time.NewTicker(s.cfg.MaintainEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	dirty := 0
+	for {
+		select {
+		case op := <-s.ops:
+			dirty += s.apply(op)
+			dirty += s.drainPending()
+			if dirty >= s.cfg.MaintainAfter {
+				if s.maintainPublish(context.Background()) == nil {
+					dirty = 0
+				}
+			}
+		case <-tick:
+			if dirty > 0 {
+				if s.maintainPublish(context.Background()) == nil {
+					dirty = 0
+				}
+			}
+		case reply := <-s.flushCh:
+			dirty += s.drainPending()
+			var err error
+			if dirty > 0 || s.View().Version() == 0 {
+				if err = s.maintainPublish(context.Background()); err == nil {
+					dirty = 0
+				}
+			}
+			reply <- flushReply{view: s.View(), err: err}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// drainPending consumes every op already sitting in the queue without
+// blocking and returns how many were applied — the ingest batch.
+func (s *Server) drainPending() int {
+	applied := 0
+	for {
+		select {
+		case op := <-s.ops:
+			applied += s.apply(op)
+		default:
+			return applied
+		}
+	}
+}
+
+// apply performs one op against the session, returning 1 if the store
+// changed and 0 if the store rejected the op (counted, dropped). Either
+// way the op sequence advances.
+func (s *Server) apply(op Op) int {
+	s.consumed.Add(1)
+	var err error
+	switch op.Kind {
+	case OpAppend:
+		err = s.session.Append(op.Items...)
+	case OpDelete:
+		_, err = s.session.DeleteAt(op.TID)
+	default:
+		err = fmt.Errorf("serve: unknown op kind %d", op.Kind)
+	}
+	if err != nil {
+		s.ingestErrors.Add(1)
+		return 0
+	}
+	return 1
+}
+
+// maintainPublish runs one Maintain over the session and publishes the
+// immutable result view. An empty store publishes an empty view (readers
+// must never keep seeing deleted data); any other error leaves the
+// current view in place for the next trigger to retry.
+func (s *Server) maintainPublish(ctx context.Context) error {
+	prev := s.view.Load()
+	ops := s.consumed.Load()
+	res, mstats, err := s.session.Maintain(ctx)
+	if err != nil {
+		if errors.Is(err, mining.ErrEmptyDB) {
+			s.view.Store(&View{version: prev.version + 1, ops: ops, stats: mstats})
+			s.maintains.Add(1)
+			return nil
+		}
+		s.ingestErrors.Add(1)
+		return err
+	}
+	rules, err := s.session.Rules(s.cfg.RuleFloor)
+	if err != nil {
+		s.ingestErrors.Add(1)
+		return err
+	}
+	s.view.Store(&View{
+		version: prev.version + 1,
+		ops:     ops,
+		numTx:   res.NumTx(),
+		stats:   mstats,
+		res:     res,
+		rules:   rules,
+		canon:   res.Canonical(),
+	})
+	s.maintains.Add(1)
+	if mstats.FullRun {
+		s.fullRuns.Add(1)
+	}
+	return nil
+}

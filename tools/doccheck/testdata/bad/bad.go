@@ -1,0 +1,15 @@
+package bad
+
+const Bare = 1
+
+type Widget struct{}
+
+func (w Widget) Spin() {}
+
+func Exported() {}
+
+func unexportedIsFine() {}
+
+type small struct{}
+
+func (s small) Quiet() {}

@@ -1,0 +1,35 @@
+// Package good is a fully documented fixture: every exported identifier
+// carries a doc comment, so doccheck must report nothing.
+package good
+
+// Answer is a documented exported const.
+const Answer = 42
+
+// Grouped consts share the block comment.
+const (
+	One = 1
+	Two = 2
+)
+
+// Name is a documented exported var.
+var Name = "good"
+
+// Thing is a documented exported type.
+type Thing struct{}
+
+// Do is a documented exported method.
+func (t Thing) Do() {}
+
+// Run is a documented exported function.
+func Run() {}
+
+type hidden struct{}
+
+func (h hidden) poke() {}
+
+func internal() {}
+
+// EOL-commented exported values pass too.
+var (
+	Port = 80 // Port is the default port.
+)

@@ -1,0 +1,5 @@
+// Package nested proves the walk recurses into subdirectories.
+package nested
+
+// Depth is documented.
+const Depth = 2

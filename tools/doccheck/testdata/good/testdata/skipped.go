@@ -1,0 +1,5 @@
+package skipped
+
+const Undocumented = true
+
+func AlsoUndocumented() {}
