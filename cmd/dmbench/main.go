@@ -16,6 +16,7 @@
 //	dmbench -distjson BENCH_dist.json   # emit the EXP-P4 baseline
 //	dmbench -faultsjson BENCH_faults.json   # emit the EXP-F1 baseline
 //	dmbench -servejson BENCH_serve.json   # emit the EXP-SV1 serving baseline
+//	dmbench -durablejson BENCH_durable.json   # emit the EXP-D1 durability baseline
 //	dmbench -distfaults seed=1,err=0.1,kill=0.02   # seeded chaos smoke run
 package main
 
@@ -53,10 +54,11 @@ func run(args []string) error {
 		distFlags    = cliutil.AddDistFlags(fs,
 			"run the EXP-P4 distributed overhead sweep (shorthand for -exp P4)",
 			"narrow the EXP-P4 worker ladder to this single worker count (0 keeps 1/2/4)")
-		distJSON   = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
-		faultsJSON = fs.String("faultsjson", "", "write the EXP-F1 fault-tolerance baseline as JSON to this file and exit")
-		serveJSON  = fs.String("servejson", "", "write the EXP-SV1 serving-tier baseline as JSON to this file and exit")
-		faultSpec  = cliutil.AddFaultsFlag(fs)
+		distJSON    = fs.String("distjson", "", "write the EXP-P4 distributed baseline as JSON to this file and exit")
+		faultsJSON  = fs.String("faultsjson", "", "write the EXP-F1 fault-tolerance baseline as JSON to this file and exit")
+		serveJSON   = fs.String("servejson", "", "write the EXP-SV1 serving-tier baseline as JSON to this file and exit")
+		durableJSON = fs.String("durablejson", "", "write the EXP-D1 durability baseline as JSON to this file and exit")
+		faultSpec   = cliutil.AddFaultsFlag(fs)
 	)
 	if err := cliutil.Parse(fs, args); err != nil {
 		return err
@@ -103,6 +105,11 @@ func run(args []string) error {
 	if *serveJSON != "" {
 		return writeBaseline(*serveJSON, "serving-tier", func(buf *bytes.Buffer) error {
 			return experiments.WriteServeBaseline(buf, scale)
+		})
+	}
+	if *durableJSON != "" {
+		return writeBaseline(*durableJSON, "durability", func(buf *bytes.Buffer) error {
+			return experiments.WriteDurableBaseline(buf, scale)
 		})
 	}
 	if faults != nil {

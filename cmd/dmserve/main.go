@@ -13,6 +13,7 @@
 //	        [-rpcaddr 127.0.0.1:8081]
 //	        [-minsup 0.01 -rulefloor 0.5 -algo Auto -workers 0 -shardcap 1024]
 //	        [-maintainafter 256 -maintainevery 2s -queue 1024 -cache 512]
+//	        [-data dir -fsync always|interval[=100ms]|never -snapshotevery 4096]
 //	        [-dist -distworkers 4 [-distfaults seed=1,err=0.1,timeout=250ms]]
 //
 // Endpoints:
@@ -20,10 +21,23 @@
 //	GET  /v1/rules?k=10&by=confidence|support|lift&minconf=0.6&antecedent=1,2
 //	GET  /v1/support?items=1,2
 //	GET  /v1/recommend?items=1,2&k=5
-//	GET  /v1/stats        GET /v1/healthz
+//	GET  /v1/stats        GET /v1/canonical
+//	GET  /v1/healthz      GET /v1/readyz
 //	POST /v1/append       (body: basket lines)
 //	POST /v1/delete?tid=N
 //	POST /v1/flush        (drain queue, maintain, publish)
+//
+// With -data the server is durable: every ingested op is written to a
+// checksummed write-ahead log under the directory before it is
+// acknowledged (-fsync picks the sync policy; "always" makes
+// acknowledged-then-lost impossible even across power loss), snapshots
+// bound replay time, and a restart recovers the exact acknowledged
+// state — if the directory already holds state, -in is ignored. The
+// listen socket opens before recovery; /v1/healthz is green immediately
+// while /v1/readyz answers 503 until replay finishes, so load balancers
+// can gate traffic honestly during a long recovery. The HTTP server
+// carries slow-client (slowloris) read timeouts, and every handler runs
+// behind panic-recovery middleware.
 //
 // With -dist the session's support counting fans out to in-process
 // distributed workers over the gob transport (the BindStore path: full
@@ -43,11 +57,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/serve"
+	"repro/internal/wal"
 	"repro/mining"
 )
 
@@ -87,6 +103,13 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	}
 	if faults != nil && !dist.Dist {
 		return fmt.Errorf("%w for dmserve: -distfaults requires -dist", cliutil.ErrInvalidFlags)
+	}
+	fsync, err := cliutil.ParseFsync(sf.Fsync)
+	if err != nil {
+		return err
+	}
+	if sf.Data == "" && (fsync.Mode != "always" || fsync.Interval != 0 || sf.SnapshotEvery != 0) {
+		return fmt.Errorf("%w for dmserve: -fsync and -snapshotevery require -data", cliutil.ErrInvalidFlags)
 	}
 
 	opts := []mining.Option{
@@ -139,7 +162,23 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		}
 	}
 
-	srv, err := serve.New(db, serve.Config{
+	// Listen before recovery: a long WAL replay should not look like a
+	// dead process. The bootstrap handler answers liveness green and
+	// everything else 503 until the real server swaps in.
+	ln, err := net.Listen("tcp", sf.Addr)
+	if err != nil {
+		return err
+	}
+	var handler atomic.Pointer[http.Handler]
+	starting := serve.StartingHandler()
+	handler.Store(&starting)
+	httpSrv := serve.NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	}), serve.HTTPTimeouts{})
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	cfg := serve.Config{
 		MinSupport:    sup.MinSup,
 		RuleFloor:     sf.RuleFloor,
 		QueueSize:     sf.Queue,
@@ -147,25 +186,48 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		MaintainEvery: sf.MaintainEvery,
 		CacheSize:     sf.Cache,
 		Options:       opts,
-	})
+	}
+	if sf.Data != "" {
+		cfg.DataDir = sf.Data
+		cfg.SnapshotEvery = sf.SnapshotEvery
+		switch fsync.Mode {
+		case "always":
+			cfg.Fsync = wal.SyncAlways
+		case "never":
+			cfg.Fsync = wal.SyncNever
+		case "interval":
+			cfg.Fsync = wal.SyncInterval
+			cfg.FsyncEvery = fsync.Interval
+		}
+	}
+	srv, err := serve.New(db, cfg)
 	if err != nil {
+		httpSrv.Close()
 		return err
 	}
 	defer srv.Close()
+	live := srv.Handler()
+	handler.Store(&live)
 
-	ln, err := net.Listen("tcp", sf.Addr)
-	if err != nil {
-		return err
-	}
 	v := srv.View()
 	fmt.Fprintf(stdout, "dmserve: %d transactions, version %d, %d rules at floor\n",
 		v.NumTx(), v.Version(), len(v.Rules()))
+	if sf.Data != "" {
+		if ops, found := srv.Recovered(); found {
+			fmt.Fprintf(stdout, "durable: recovered %d ops from %s (fsync=%s)\n", ops, sf.Data, sf.Fsync)
+			if *in != "" {
+				fmt.Fprintf(stdout, "durable: -in ignored, %s already holds state\n", sf.Data)
+			}
+		} else {
+			fmt.Fprintf(stdout, "durable: fresh data directory %s (fsync=%s)\n", sf.Data, sf.Fsync)
+		}
+	}
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
 
 	if sf.RPCAddr != "" {
 		rln, err := net.Listen("tcp", sf.RPCAddr)
 		if err != nil {
-			ln.Close()
+			httpSrv.Close()
 			return err
 		}
 		defer rln.Close()
@@ -176,9 +238,6 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err

@@ -134,8 +134,9 @@ func AddDistFlags(fs *flag.FlagSet, distUsage, workersUsage string) *DistFlags {
 // <= 0 means GOMAXPROCS.
 func (d *DistFlags) EffectiveWorkers() int { return ResolveWorkers(d.Workers) }
 
-// ServeFlags are cmd/dmserve's serving-tier flags: listen addresses and
-// the ingest/maintenance pacing knobs of internal/serve.
+// ServeFlags are cmd/dmserve's serving-tier flags: listen addresses,
+// the ingest/maintenance pacing knobs of internal/serve, and the
+// durability knobs (data directory, fsync policy, snapshot cadence).
 type ServeFlags struct {
 	Addr          string
 	RPCAddr       string
@@ -144,11 +145,15 @@ type ServeFlags struct {
 	Queue         int
 	Cache         int
 	RuleFloor     float64
+	Data          string
+	Fsync         string
+	SnapshotEvery int
 }
 
 // AddServeFlags registers -addr, -rpcaddr, -maintainafter,
-// -maintainevery, -queue, -cache and -rulefloor with dmserve's defaults
-// (0 values defer to internal/serve's documented defaults).
+// -maintainevery, -queue, -cache, -rulefloor, -data, -fsync and
+// -snapshotevery with dmserve's defaults (0 values defer to
+// internal/serve's documented defaults).
 func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
 	f := &ServeFlags{}
 	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "HTTP listen address")
@@ -161,7 +166,51 @@ func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.IntVar(&f.Cache, "cache", 0, "query result cache entries (0 = 512; negative disables)")
 	fs.Float64Var(&f.RuleFloor, "rulefloor", 0,
 		"confidence floor of the published rule set in (0, 1] (0 = 0.5)")
+	fs.StringVar(&f.Data, "data", "",
+		"durable data directory: WAL + snapshots, crash recovery on start (empty = in-memory only)")
+	fs.StringVar(&f.Fsync, "fsync", "always",
+		"WAL fsync policy with -data: 'always' (sync before ack), 'interval[=100ms]' (timer), 'never' (page cache)")
+	fs.IntVar(&f.SnapshotEvery, "snapshotevery", 0,
+		"ops between WAL snapshots with -data (0 = 4096; negative disables)")
 	return f
+}
+
+// FsyncSetting is a parsed -fsync value. Mode is one of "always",
+// "interval" or "never"; Interval is the timer period when Mode is
+// "interval" (0 = the serving tier's default). cliutil stays free of an
+// internal/wal dependency, so the command maps Mode onto wal.SyncPolicy.
+type FsyncSetting struct {
+	Mode     string
+	Interval time.Duration
+}
+
+// ParseFsync parses a -fsync policy: "always", "never", "interval", or
+// "interval=<duration>" for an explicit sync period.
+func ParseFsync(spec string) (FsyncSetting, error) {
+	mode, val, hasVal := strings.Cut(strings.TrimSpace(spec), "=")
+	mode = strings.ToLower(strings.TrimSpace(mode))
+	switch mode {
+	case "always", "never":
+		if hasVal {
+			return FsyncSetting{}, fmt.Errorf("%w: -fsync %q: %q takes no value", ErrInvalidFlags, spec, mode)
+		}
+		return FsyncSetting{Mode: mode}, nil
+	case "interval":
+		f := FsyncSetting{Mode: mode}
+		if hasVal {
+			d, err := time.ParseDuration(strings.TrimSpace(val))
+			if err != nil {
+				return FsyncSetting{}, fmt.Errorf("%w: -fsync %q: %v", ErrInvalidFlags, spec, err)
+			}
+			if d <= 0 {
+				return FsyncSetting{}, fmt.Errorf("%w: -fsync %q: interval must be positive", ErrInvalidFlags, spec)
+			}
+			f.Interval = d
+		}
+		return f, nil
+	default:
+		return FsyncSetting{}, fmt.Errorf("%w: -fsync %q: want always, never, or interval[=duration]", ErrInvalidFlags, spec)
+	}
 }
 
 // AddFaultsFlag registers -distfaults, the reproducible fault-injection

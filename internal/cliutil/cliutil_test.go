@@ -170,6 +170,9 @@ func TestAddServeFlags(t *testing.T) {
 	if sf.MaintainAfter != 0 || sf.Queue != 0 || sf.Cache != 0 || sf.RuleFloor != 0 {
 		t.Errorf("zero-means-package-default knobs not zero: %+v", sf)
 	}
+	if sf.Data != "" || sf.Fsync != "always" || sf.SnapshotEvery != 0 {
+		t.Errorf("durability defaults = %+v", sf)
+	}
 
 	fs = NewFlagSet("dmserve")
 	fs.SetOutput(io.Discard)
@@ -178,13 +181,15 @@ func TestAddServeFlags(t *testing.T) {
 		"-addr", "0.0.0.0:9999", "-rpcaddr", "127.0.0.1:9998",
 		"-maintainafter", "64", "-maintainevery", "500ms",
 		"-queue", "32", "-cache", "-1", "-rulefloor", "0.75",
+		"-data", "/tmp/dm", "-fsync", "interval=250ms", "-snapshotevery", "128",
 	}
 	if err := Parse(fs, args); err != nil {
 		t.Fatal(err)
 	}
 	if sf.Addr != "0.0.0.0:9999" || sf.RPCAddr != "127.0.0.1:9998" ||
 		sf.MaintainAfter != 64 || sf.MaintainEvery != 500*time.Millisecond ||
-		sf.Queue != 32 || sf.Cache != -1 || sf.RuleFloor != 0.75 {
+		sf.Queue != 32 || sf.Cache != -1 || sf.RuleFloor != 0.75 ||
+		sf.Data != "/tmp/dm" || sf.Fsync != "interval=250ms" || sf.SnapshotEvery != 128 {
 		t.Errorf("parsed values = %+v", sf)
 	}
 
@@ -200,6 +205,30 @@ func TestParseFaultsRejectsNaN(t *testing.T) {
 	for _, spec := range []string{"drop=NaN", "err=nan", "kill=NaN", "delayprob=NaN"} {
 		if _, err := ParseFaults(spec); !errors.Is(err, ErrInvalidFlags) {
 			t.Errorf("ParseFaults(%q) = %v, want ErrInvalidFlags", spec, err)
+		}
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	cases := []struct {
+		spec string
+		want FsyncSetting
+	}{
+		{"always", FsyncSetting{Mode: "always"}},
+		{"never", FsyncSetting{Mode: "never"}},
+		{"interval", FsyncSetting{Mode: "interval"}},
+		{"interval=250ms", FsyncSetting{Mode: "interval", Interval: 250 * time.Millisecond}},
+		{" Interval = 1s ", FsyncSetting{Mode: "interval", Interval: time.Second}},
+	}
+	for _, c := range cases {
+		got, err := ParseFsync(c.spec)
+		if err != nil || got != c.want {
+			t.Errorf("ParseFsync(%q) = %+v, %v, want %+v", c.spec, got, err, c.want)
+		}
+	}
+	for _, spec := range []string{"", "sometimes", "always=1s", "never=x", "interval=soon", "interval=0s", "interval=-1s"} {
+		if _, err := ParseFsync(spec); !errors.Is(err, ErrInvalidFlags) {
+			t.Errorf("ParseFsync(%q) = %v, want ErrInvalidFlags", spec, err)
 		}
 	}
 }

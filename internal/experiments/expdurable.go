@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/transactions"
+	"repro/internal/wal"
+	"repro/mining"
+)
+
+// EXP-D1 shape: a modest correlated fixture (the WAL, not the miner, is
+// under test) and a few concurrent producers so wal's group commit has
+// batches to merge under SyncAlways.
+const (
+	d1MinSup    = 0.05
+	d1Producers = 8
+)
+
+// DurablePolicy is one fsync policy's ingest cost: ops durably ingested
+// (enqueue through the WAL plus one final flush) and the resulting rate.
+type DurablePolicy struct {
+	Policy    string  `json:"policy"`
+	Ops       int     `json:"ops"`
+	Millis    float64 `json:"ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// MicrosPerOp is the amortized per-op persistence cost.
+	MicrosPerOp float64 `json:"us_per_op"`
+}
+
+// DurableRecovery is one recovery measurement: a prepared data directory
+// with Ops logged ops (snapshotted every SnapshotEvery ops, 0 = WAL
+// replay only) and the wall time for serve.New to recover it to a
+// served view.
+type DurableRecovery struct {
+	Ops           int     `json:"ops"`
+	SnapshotEvery int     `json:"snapshot_every"`
+	RecoveredOps  uint64  `json:"recovered_ops"`
+	Millis        float64 `json:"ms"`
+}
+
+// DurableBaseline is the machine-readable output of EXP-D1, persisted as
+// BENCH_durable.json: what durability costs at ingest time per fsync
+// policy, and what recovery costs at startup as the log grows, with and
+// without snapshots bounding replay.
+type DurableBaseline struct {
+	Fixture    string            `json:"fixture"`
+	InitialTx  int               `json:"initial_tx"`
+	Producers  int               `json:"producers"`
+	Policies   []DurablePolicy   `json:"policies"`
+	Recovery   []DurableRecovery `json:"recovery"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"numcpu"`
+	Note       string            `json:"note,omitempty"`
+}
+
+// d1Fixture builds the initial rows and the workload sizes.
+func d1Fixture(s Scale) ([][]int, int, []int) {
+	n, ingest := 200, 1500
+	replay := []int{500, 2000}
+	if s == Full {
+		n, ingest = 500, 6000
+		replay = []int{1000, 4000, 12000}
+	}
+	rng := rand.New(rand.NewSource(23))
+	rows := make([][]int, n)
+	for i := range rows {
+		pair := rng.Intn(10) * 2
+		rows[i] = []int{pair, pair + 1, rng.Intn(20)}
+	}
+	return rows, ingest, replay
+}
+
+// d1Op is the deterministic append stream both halves of the experiment
+// share.
+func d1Op(i int) serve.Op {
+	pair := (i % 10) * 2
+	return serve.Op{Kind: serve.OpAppend, Items: []int{pair, pair + 1, i % 20}}
+}
+
+// measureIngest times n durable ingests (plus the final flush) under one
+// policy. An empty dir string measures the in-memory baseline.
+func measureIngest(rows [][]int, n int, dir string, policy wal.SyncPolicy) (float64, error) {
+	db, err := mining.NewDB(rows)
+	if err != nil {
+		return 0, err
+	}
+	cfg := serve.Config{
+		MinSupport:    d1MinSup,
+		MaintainAfter: 1 << 30, // flush-driven: measure the WAL, not the miner
+		SnapshotEvery: -1,
+		QueueSize:     4 * d1Producers,
+	}
+	if dir != "" {
+		cfg.DataDir = dir
+		cfg.Fsync = policy
+		cfg.FsyncEvery = 10 * time.Millisecond
+	}
+	srv, err := serve.New(db, cfg)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, d1Producers)
+	per := n / d1Producers
+	for p := 0; p < d1Producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p * per; i < (p+1)*per; i++ {
+				if err := srv.Enqueue(ctx, d1Op(i)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	// Flush makes the tail durable under every policy, so the clock stops
+	// at the same guarantee regardless of how lazy the policy was.
+	if _, err := srv.Flush(ctx); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds() * 1000, nil
+}
+
+// prepareLog writes a data directory with the initial rows snapshotted at
+// offset 0 and ops logged appends, snapshotting every snapEvery ops when
+// snapEvery > 0. It drives wal.Log directly (SyncNever — preparation is
+// not under test) so no final compaction snapshot hides the replay cost
+// serve.New will pay.
+func prepareLog(dir string, rows [][]int, ops, snapEvery int) error {
+	fsys, err := wal.DirFS(dir)
+	if err != nil {
+		return err
+	}
+	log, _, err := wal.Open(fsys, wal.Options{Policy: wal.SyncNever})
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+	cur := make([]transactions.Itemset, len(rows))
+	for i, r := range rows {
+		cur[i] = transactions.NewItemset(r...)
+	}
+	if err := log.Snapshot(cur, 0); err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		op := d1Op(i)
+		if _, err := log.Append(wal.Op{Kind: int(op.Kind), Items: op.Items, TID: op.TID}); err != nil {
+			return err
+		}
+		cur = append(cur, transactions.NewItemset(op.Items...))
+		if snapEvery > 0 && (i+1)%snapEvery == 0 {
+			if err := log.Snapshot(cur, uint64(i+1)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// measureRecovery times serve.New over a prepared directory: WAL open,
+// snapshot load, tail replay, session build and first published view.
+func measureRecovery(dir string) (uint64, float64, error) {
+	start := time.Now()
+	srv, err := serve.New(nil, serve.Config{
+		MinSupport:    d1MinSup,
+		MaintainAfter: 1 << 30,
+		SnapshotEvery: -1,
+		DataDir:       dir,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	ms := time.Since(start).Seconds() * 1000
+	ops, found := srv.Recovered()
+	srv.Close()
+	if !found {
+		return 0, 0, fmt.Errorf("EXP-D1: prepared directory %s recovered nothing", dir)
+	}
+	return ops, ms, nil
+}
+
+// MeasureDurableBaseline runs EXP-D1: the durable ingest cost ladder
+// (no WAL, SyncNever, SyncInterval, SyncAlways over a real directory)
+// and the recovery-time curve vs log length with and without snapshots.
+func MeasureDurableBaseline(s Scale) (*DurableBaseline, error) {
+	rows, ingest, replay := d1Fixture(s)
+	base := &DurableBaseline{
+		Fixture:    fmt.Sprintf("DURABLE.D%d", len(rows)),
+		InitialTx:  len(rows),
+		Producers:  d1Producers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	policies := []struct {
+		name   string
+		policy wal.SyncPolicy
+		onDisk bool
+	}{
+		{"off", wal.SyncAlways, false},
+		{"never", wal.SyncNever, true},
+		{"interval", wal.SyncInterval, true},
+		{"always", wal.SyncAlways, true},
+	}
+	for _, p := range policies {
+		dir := ""
+		if p.onDisk {
+			d, err := os.MkdirTemp("", "expd1-ingest-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		ms, err := measureIngest(rows, ingest, dir, p.policy)
+		if err != nil {
+			return nil, fmt.Errorf("EXP-D1 ingest %s: %w", p.name, err)
+		}
+		base.Policies = append(base.Policies, DurablePolicy{
+			Policy:      p.name,
+			Ops:         ingest,
+			Millis:      ms,
+			OpsPerSec:   float64(ingest) / (ms / 1000),
+			MicrosPerOp: ms * 1000 / float64(ingest),
+		})
+	}
+
+	for _, ops := range replay {
+		for _, snapEvery := range []int{0, 256} {
+			dir, err := os.MkdirTemp("", "expd1-recover-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			if err := prepareLog(dir, rows, ops, snapEvery); err != nil {
+				return nil, fmt.Errorf("EXP-D1 prepare (%d ops): %w", ops, err)
+			}
+			recOps, ms, err := measureRecovery(dir)
+			if err != nil {
+				return nil, err
+			}
+			if recOps != uint64(ops) {
+				return nil, fmt.Errorf("EXP-D1: recovered %d of %d prepared ops", recOps, ops)
+			}
+			base.Recovery = append(base.Recovery, DurableRecovery{
+				Ops:           ops,
+				SnapshotEvery: snapEvery,
+				RecoveredOps:  recOps,
+				Millis:        ms,
+			})
+		}
+	}
+
+	base.Note = "ingest: producers enqueue concurrently, the clock stops after a flush makes the tail durable; " +
+		"recovery: wall time for serve.New over a prepared directory (snapshot load, WAL replay, session build, first view)"
+	return base, nil
+}
+
+// WriteDurableBaseline emits the EXP-D1 baseline as indented JSON.
+func WriteDurableBaseline(w io.Writer, s Scale) error {
+	base, err := MeasureDurableBaseline(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(base)
+}
+
+// RunD1 prints the durability experiment: the fsync-policy ingest ladder
+// and the recovery-time curve.
+func RunD1(w io.Writer, s Scale) error {
+	header(w, "D1", "durable serving: fsync-policy ingest cost and crash-recovery time")
+	base, err := MeasureDurableBaseline(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%s: %d initial tx, %d producers (GOMAXPROCS=%d)\n",
+		base.Fixture, base.InitialTx, base.Producers, base.GOMAXPROCS)
+	fmt.Fprintf(w, "%-12s%10s%12s%14s%12s\n", "fsync", "ops", "ms", "ops/sec", "us/op")
+	for _, p := range base.Policies {
+		fmt.Fprintf(w, "%-12s%10d%12.1f%14.0f%12.2f\n",
+			p.Policy, p.Ops, p.Millis, p.OpsPerSec, p.MicrosPerOp)
+	}
+	fmt.Fprintf(w, "\n%-12s%16s%14s%12s\n", "log ops", "snapshot every", "recovered", "ms")
+	for _, r := range base.Recovery {
+		every := "none"
+		if r.SnapshotEvery > 0 {
+			every = fmt.Sprintf("%d", r.SnapshotEvery)
+		}
+		fmt.Fprintf(w, "%-12d%16s%14d%12.1f\n", r.Ops, every, r.RecoveredOps, r.Millis)
+	}
+	if base.Note != "" {
+		fmt.Fprintf(w, "\nnote: %s\n", base.Note)
+	}
+	return nil
+}

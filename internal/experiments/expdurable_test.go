@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDurableBaselineJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := WriteDurableBaseline(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	var base DurableBaseline
+	if err := json.Unmarshal(buf.Bytes(), &base); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if base.Fixture == "" || base.InitialTx < 1 || base.GOMAXPROCS < 1 {
+		t.Fatalf("incomplete header: %+v", base)
+	}
+	if len(base.Policies) != 4 {
+		t.Fatalf("policy ladder has %d rungs, want 4: %+v", len(base.Policies), base.Policies)
+	}
+	for _, p := range base.Policies {
+		if p.Ops < 1 || p.OpsPerSec <= 0 || p.MicrosPerOp <= 0 {
+			t.Fatalf("policy %q measured nothing: %+v", p.Policy, p)
+		}
+	}
+	if base.Policies[0].Policy != "off" || base.Policies[3].Policy != "always" {
+		t.Fatalf("policy order: %+v", base.Policies)
+	}
+	if len(base.Recovery) < 2 {
+		t.Fatalf("recovery curve has %d points: %+v", len(base.Recovery), base.Recovery)
+	}
+	for _, r := range base.Recovery {
+		if r.RecoveredOps != uint64(r.Ops) || r.Millis <= 0 {
+			t.Fatalf("recovery point broken: %+v", r)
+		}
+	}
+}
+
+func TestRunD1PrintsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures wall-clock sweeps")
+	}
+	var buf bytes.Buffer
+	if err := RunD1(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EXP-D1", "fsync", "ops/sec", "snapshot every", "recovered"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,9 +11,11 @@
 // EXP-P4 writes BENCH_dist.json (distributed shard-shipping overhead vs
 // local counting, with transport traffic counters), EXP-F1 writes
 // BENCH_faults.json (fault-free cost of the retry/deadline layer plus the
-// recovery cost of one worker death), and EXP-SV1 writes BENCH_serve.json
+// recovery cost of one worker death), EXP-SV1 writes BENCH_serve.json
 // (serving-tier QPS and latency percentiles under a live update stream,
-// every sampled snapshot replay-verified against a from-scratch mine).
+// every sampled snapshot replay-verified against a from-scratch mine),
+// and EXP-D1 writes BENCH_durable.json (per-fsync-policy durable ingest
+// cost and crash-recovery time vs log length and snapshot interval).
 // Every baseline records
 // heap allocations (alloc_bytes, allocs) alongside wall-clock so memory
 // regressions show up in the trajectory too.
@@ -75,6 +77,7 @@ func All() []Experiment {
 		{ID: "P4", Title: "Distributed mining: serialization and merge overhead vs local", Run: RunP4},
 		{ID: "F1", Title: "Fault tolerance: fault-free overhead and failover recovery", Run: RunF1},
 		{ID: "SV1", Title: "Serving tier: concurrent reads under a live update stream", Run: RunSV1},
+		{ID: "D1", Title: "Durable serving: fsync-policy ingest cost and crash-recovery time", Run: RunD1},
 	}
 }
 

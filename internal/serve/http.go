@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/mining"
 )
@@ -52,25 +53,129 @@ func toRuleJSON(rules []mining.Rule) []ruleJSON {
 //	GET  /v1/support?items=1,2                   itemset support lookup
 //	GET  /v1/recommend?items=1,2&k=              per-antecedent recommendation
 //	GET  /v1/stats                               server counters
+//	GET  /v1/canonical                           canonical result bytes
 //	GET  /v1/healthz                             liveness
+//	GET  /v1/readyz                              readiness (503 until recovered)
 //	POST /v1/append                              basket lines to enqueue
 //	POST /v1/delete?tid=N                        enqueue one delete
 //	POST /v1/flush                               drain queue, maintain, publish
 //
 // Query errors map to 400, everything else to 500; responses are JSON.
+// Every handler runs behind a panic-recovery middleware: a panicking
+// handler produces a 500 and bumps Stats.Panics instead of killing the
+// process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/rules", s.handleRules)
 	mux.HandleFunc("GET /v1/support", s.handleSupport)
 	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/canonical", s.handleCanonical)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/append", s.handleAppend)
 	mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the middleware keeping one bad handler (or one
+// poisoned request) from taking the whole serving process down: the
+// panic is swallowed, the client gets a 500, and Stats.Panics counts it.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				// Best-effort 500: if the handler already wrote a status,
+				// this is a no-op beyond the log line net/http would emit.
+				writeError(w, fmt.Errorf("serve: handler panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReadyz serves GET /v1/readyz: 200 once startup (WAL recovery,
+// tail replay, first publish) finished, 503 before. Load balancers gate
+// traffic on this; liveness probes use /v1/healthz, which is green the
+// moment the process accepts connections.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// handleCanonical serves GET /v1/canonical: the current view's canonical
+// result bytes (the deterministic encoding every byte-identity check in
+// this repo compares), with the view's version and op count in headers.
+// The crash-recovery CI gate diffs this against a from-scratch mine.
+func (s *Server) handleCanonical(w http.ResponseWriter, r *http.Request) {
+	v := s.View()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Serve-Version", strconv.FormatUint(v.Version(), 10))
+	w.Header().Set("X-Serve-Ops", strconv.FormatUint(v.Ops(), 10))
+	w.Write(v.Canonical())
+}
+
+// StartingHandler is the bootstrap surface a command serves while the
+// real server is still recovering its WAL: liveness is green, readiness
+// and everything else answer 503. Swapping it for Server.Handler once
+// New returns gives probes an honest view of a long replay without
+// delaying the listen socket.
+func StartingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "recovering"})
+	})
 	return mux
+}
+
+// HTTPTimeouts are the slow-client guards of NewHTTPServer. Zero fields
+// take the defaults; production servers should not disable them — a
+// client trickling header bytes forever (slowloris) otherwise pins a
+// connection per drip.
+type HTTPTimeouts struct {
+	// ReadHeader bounds request-header reads (0 = 5s).
+	ReadHeader time.Duration
+	// Read bounds the whole request read, including ingest bodies
+	// (0 = 60s).
+	Read time.Duration
+	// Idle bounds keep-alive idleness between requests (0 = 120s).
+	Idle time.Duration
+}
+
+// NewHTTPServer wraps h in an http.Server with the slowloris guards
+// applied. Write deadlines are left off deliberately: flush and append
+// calls legitimately block on maintenance under load, and the read-side
+// timeouts already bound a malicious peer.
+func NewHTTPServer(h http.Handler, t HTTPTimeouts) *http.Server {
+	if t.ReadHeader == 0 {
+		t.ReadHeader = 5 * time.Second
+	}
+	if t.Read == 0 {
+		t.Read = 60 * time.Second
+	}
+	if t.Idle == 0 {
+		t.Idle = 120 * time.Second
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		IdleTimeout:       t.Idle,
+	}
 }
 
 // writeJSON writes v as a JSON response body.

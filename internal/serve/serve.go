@@ -26,6 +26,24 @@
 // Query results (top-k rules, recommendations) are cached in a small LRU
 // keyed on (view version, normalized query), so a version bump can never
 // serve a stale entry: the new version misses by construction.
+//
+// # Durability
+//
+// With Config.DataDir (or a test FS) set, the server writes every op to
+// an internal/wal write-ahead log *before* applying or acknowledging it:
+// the ingest goroutine drains a batch from the queue, appends all of it
+// to the log, fsyncs once (under wal.SyncAlways — the group commit that
+// amortizes fsync latency across concurrent writers), and only then
+// applies the ops and unblocks their Enqueue calls. Crash recovery in
+// New loads the newest valid snapshot, replays the log tail through the
+// same apply path the live stream uses, and — because a store-rejected
+// op advances the op sequence in both paths — reconstructs exactly the
+// fold of the persisted op prefix. Flush implies fsync; Close drains the
+// queue, syncs, and writes a final snapshot. The first write or sync
+// error makes the log fail-stop: every later Enqueue returns the error
+// and nothing more is acknowledged (retrying a failed fsync silently
+// drops data on most kernels), while reads keep serving the last
+// published view.
 package serve
 
 import (
@@ -36,6 +54,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/transactions"
+	"repro/internal/wal"
 	"repro/mining"
 )
 
@@ -49,6 +69,10 @@ const (
 	DefaultMaintainAfter = 256
 	// DefaultCacheSize is the query-result LRU's entry capacity.
 	DefaultCacheSize = 512
+	// DefaultSnapshotEvery is the op count between WAL snapshots.
+	DefaultSnapshotEvery = 4096
+	// DefaultFsyncEvery is the sync period under wal.SyncInterval.
+	DefaultFsyncEvery = 100 * time.Millisecond
 )
 
 // Errors returned by the server.
@@ -77,7 +101,8 @@ const (
 // single ingest goroutine; an op that the store rejects (negative item
 // ids, an out-of-range TID) is counted in Stats.IngestErrors and dropped
 // — it still advances the op sequence, so replay-based verification must
-// mirror the same skip.
+// mirror the same skip. The WAL persists rejected ops too, verbatim, for
+// the same reason: replay must skip exactly where the live stream did.
 type Op struct {
 	// Kind selects the mutation.
 	Kind OpKind
@@ -111,6 +136,24 @@ type Config struct {
 	// CacheSize is the query-result LRU capacity in entries
 	// (0 = DefaultCacheSize; negative disables caching).
 	CacheSize int
+	// DataDir enables durability: the directory holding the write-ahead
+	// log and snapshots. Empty (and FS nil) keeps the server in-memory
+	// only. New recovers whatever state the directory holds before
+	// serving; an initial db is used only when the directory is fresh.
+	DataDir string
+	// Fsync is the WAL sync policy (zero value wal.SyncAlways: sync
+	// before acknowledging — no acked op can be lost to a crash).
+	Fsync wal.SyncPolicy
+	// FsyncEvery is the sync period under wal.SyncInterval
+	// (0 = DefaultFsyncEvery).
+	FsyncEvery time.Duration
+	// SnapshotEvery writes a WAL snapshot (and truncates the log) every
+	// that many ops (0 = DefaultSnapshotEvery; negative disables
+	// periodic snapshots — the log grows until Close).
+	SnapshotEvery int
+	// FS overrides the WAL filesystem — the fault-injection and crash
+	// property tests' hook. When set, DataDir is ignored.
+	FS wal.FS
 	// Options are extra mining options for the session.
 	Options []mining.Option
 }
@@ -143,6 +186,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = DefaultCacheSize
+	}
+	switch c.Fsync {
+	case wal.SyncAlways, wal.SyncInterval, wal.SyncNever:
+	default:
+		return c, fmt.Errorf("%w: unknown Fsync policy %d", ErrBadConfig, int(c.Fsync))
+	}
+	if c.FsyncEvery < 0 {
+		return c, fmt.Errorf("%w: negative FsyncEvery %v", ErrBadConfig, c.FsyncEvery)
+	}
+	if c.FsyncEvery == 0 {
+		c.FsyncEvery = DefaultFsyncEvery
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
 	}
 	return c, nil
 }
@@ -221,6 +278,17 @@ type Stats struct {
 	CacheHits uint64 `json:"cache_hits"`
 	// CacheMisses counts cache lookups that had to compute the result.
 	CacheMisses uint64 `json:"cache_misses"`
+	// Durable reports whether a write-ahead log is attached.
+	Durable bool `json:"durable"`
+	// RecoveredOps is the op count reconstructed from the WAL at startup.
+	RecoveredOps uint64 `json:"recovered_ops"`
+	// Snapshots counts WAL snapshots written since startup.
+	Snapshots uint64 `json:"snapshots"`
+	// WALErrors counts persistence failures; nonzero means the log is
+	// fail-stop and ingestion has been refused since the first one.
+	WALErrors uint64 `json:"wal_errors"`
+	// Panics counts HTTP handler panics recovered into 500 responses.
+	Panics uint64 `json:"panics"`
 }
 
 // Server is the long-running query tier: one ingest goroutine feeding a
@@ -233,17 +301,41 @@ type Server struct {
 	view    atomic.Pointer[View]
 	cache   *lruCache
 
-	ops     chan Op
+	ops     chan queued
 	flushCh chan chan flushReply
 	quit    chan struct{}
 	done    chan struct{}
 	closeMu sync.Mutex
 	closed  bool
 
+	log          *wal.Log
+	lastSnapOps  uint64 // ingest-goroutine owned after New
+	recovered    bool
+	recoveredOps uint64
+	ready        atomic.Bool
+
 	consumed     atomic.Uint64
 	maintains    atomic.Uint64
 	fullRuns     atomic.Uint64
 	ingestErrors atomic.Uint64
+	walErrors    atomic.Uint64
+	snapshots    atomic.Uint64
+	panics       atomic.Uint64
+}
+
+// queued is one op in flight through the ingest queue, with the ack
+// channel a durable Enqueue blocks on (nil for fire-and-forget).
+type queued struct {
+	op  Op
+	ack chan error
+}
+
+// reply delivers the persistence outcome without ever blocking (ack is
+// buffered and written exactly once).
+func (q queued) reply(err error) {
+	if q.ack != nil {
+		q.ack <- err
+	}
 }
 
 // flushReply is the synchronous answer to a Flush request.
@@ -253,40 +345,116 @@ type flushReply struct {
 }
 
 // New builds a server over an initial database (nil or empty starts
-// empty), publishes the initial view (version 1 when db is non-empty),
-// and starts the ingest loop. Close releases it.
+// empty), publishes the initial view (version 1 when the store is
+// non-empty), and starts the ingest loop. Close releases it.
+//
+// With durability configured, New first recovers the data directory:
+// load the newest valid snapshot, replay the log tail through the live
+// apply path, truncate at the first torn record. A recovered state takes
+// precedence over db — the initial database seeds only a fresh
+// directory, where it is immediately snapshotted so that a crash before
+// the first periodic snapshot cannot lose it.
 func New(db *mining.DB, cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	opts := append([]mining.Option{mining.MinSupport(cfg.MinSupport)}, cfg.Options...)
-	session, err := mining.NewSession(db, opts...)
-	if err != nil {
-		return nil, err
-	}
 	s := &Server{
 		cfg:     cfg,
-		session: session,
 		cache:   newLRUCache(cfg.CacheSize),
-		ops:     make(chan Op, cfg.QueueSize),
+		ops:     make(chan queued, cfg.QueueSize),
 		flushCh: make(chan chan flushReply),
 		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	s.view.Store(&View{}) // version 0: empty until the first publish
-	if db.Len() > 0 {
-		if err := s.maintainPublish(context.Background()); err != nil {
-			session.Close()
-			return nil, err
+	var rec *wal.Recovery
+	if cfg.FS != nil || cfg.DataDir != "" {
+		fsys := cfg.FS
+		if fsys == nil {
+			if fsys, err = wal.DirFS(cfg.DataDir); err != nil {
+				return nil, fmt.Errorf("serve: data dir: %w", err)
+			}
+		}
+		if s.log, rec, err = wal.Open(fsys, wal.Options{Policy: cfg.Fsync}); err != nil {
+			return nil, fmt.Errorf("serve: opening wal: %w", err)
 		}
 	}
+	if rec != nil && (rec.Snapshot != nil || rec.Ops > 0) {
+		// The directory has state: it wins over the caller's initial db.
+		s.recovered = true
+		rows := make([][]int, len(rec.Snapshot))
+		for i, tx := range rec.Snapshot {
+			rows[i] = tx
+		}
+		if db, err = mining.NewDB(rows); err != nil {
+			s.log.Close()
+			return nil, fmt.Errorf("serve: recovered snapshot: %w", err)
+		}
+	}
+	opts := append([]mining.Option{mining.MinSupport(cfg.MinSupport)}, cfg.Options...)
+	session, err := mining.NewSession(db, opts...)
+	if err != nil {
+		if s.log != nil {
+			s.log.Close()
+		}
+		return nil, err
+	}
+	s.session = session
+	s.view.Store(&View{}) // version 0: empty until the first publish
+	fail := func(err error) (*Server, error) {
+		session.Close()
+		if s.log != nil {
+			s.log.Close()
+		}
+		return nil, err
+	}
+	if rec != nil {
+		s.consumed.Store(rec.SnapshotOps)
+		s.lastSnapOps = rec.SnapshotOps
+		for _, op := range rec.Tail {
+			s.apply(Op{Kind: OpKind(op.Kind), Items: op.Items, TID: op.TID})
+		}
+		s.recoveredOps = s.consumed.Load()
+		switch {
+		case !s.recovered && db.Len() > 0:
+			// Fresh directory seeded from db: snapshot it now, or a crash
+			// before the first periodic snapshot would recover empty.
+			if err := s.writeSnapshot(); err != nil {
+				return fail(fmt.Errorf("serve: initial snapshot: %w", err))
+			}
+		case rec.Truncated || rec.Ops > rec.SnapshotOps:
+			// Compact the replayed tail so the next recovery starts from
+			// here. Best-effort: failure just means a longer replay.
+			s.writeSnapshot()
+		}
+	}
+	if db.Len() > 0 || s.consumed.Load() > 0 {
+		if err := s.maintainPublish(context.Background()); err != nil {
+			return fail(err)
+		}
+	}
+	s.ready.Store(true)
 	go s.loop()
 	return s, nil
 }
 
 // View returns the current published view (never nil).
 func (s *Server) View() *View { return s.view.Load() }
+
+// Ready reports whether startup — WAL recovery, tail replay and the
+// first publish — has completed. The HTTP readiness endpoint serves 503
+// until it returns true.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Durable reports whether a write-ahead log is attached.
+func (s *Server) Durable() bool { return s.log != nil }
+
+// Recovered reports the op count reconstructed from the WAL at startup
+// and whether the data directory held any prior state (in which case the
+// initial database passed to New was ignored).
+func (s *Server) Recovered() (ops uint64, found bool) {
+	return s.recoveredOps, s.recovered
+}
 
 // Stats returns a point-in-time counter snapshot.
 func (s *Server) Stats() Stats {
@@ -302,24 +470,55 @@ func (s *Server) Stats() Stats {
 		IngestErrors: s.ingestErrors.Load(),
 		CacheHits:    hits,
 		CacheMisses:  misses,
+		Durable:      s.log != nil,
+		RecoveredOps: s.recoveredOps,
+		Snapshots:    s.snapshots.Load(),
+		WALErrors:    s.walErrors.Load(),
+		Panics:       s.panics.Load(),
 	}
 }
 
 // Enqueue adds one op to the bounded ingest queue, blocking while the
 // queue is full (backpressure). It returns ErrServerClosed after Close
-// and ctx.Err() if the context ends first. The op becomes visible to
-// readers only after a later Maintain publishes a new view.
+// and ctx.Err() if the context ends first.
+//
+// Without durability the call returns as soon as the op is queued. With
+// a WAL attached it blocks until the op is persisted per the sync policy
+// — a nil return under wal.SyncAlways means the op is fsynced and cannot
+// be lost — and returns the persistence error otherwise (after the log
+// fail-stops, every call errors). A context cancellation while waiting
+// for the ack leaves the op in flight: it may still be applied.
 func (s *Server) Enqueue(ctx context.Context, op Op) error {
 	select {
 	case <-s.quit:
 		return ErrServerClosed
 	default:
 	}
+	q := queued{op: op}
+	if s.log != nil {
+		q.ack = make(chan error, 1)
+	}
 	select {
-	case s.ops <- op:
-		return nil
+	case s.ops <- q:
 	case <-s.quit:
 		return ErrServerClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if q.ack == nil {
+		return nil
+	}
+	select {
+	case err := <-q.ack:
+		return err
+	case <-s.done:
+		// The loop exited; Close's drain acks everything it ingested.
+		select {
+		case err := <-q.ack:
+			return err
+		default:
+			return ErrServerClosed
+		}
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -328,7 +527,8 @@ func (s *Server) Enqueue(ctx context.Context, op Op) error {
 // Flush synchronously drains the queue and, if any op was applied since
 // the last publish (or nothing was ever published), runs one Maintain
 // and publishes the resulting view — the deterministic trigger tests and
-// bulk loads use. It returns the now-current view.
+// bulk loads use. With a WAL attached, Flush implies fsync: every op it
+// drained is durable before it returns. It returns the now-current view.
 func (s *Server) Flush(ctx context.Context) (*View, error) {
 	reply := make(chan flushReply, 1)
 	select {
@@ -346,8 +546,10 @@ func (s *Server) Flush(ctx context.Context) (*View, error) {
 	}
 }
 
-// Close stops the ingest loop (pending queued ops are dropped) and
-// releases the session. It is idempotent.
+// Close stops the ingest loop and releases the session. With a WAL
+// attached the shutdown is a graceful drain: queued ops are persisted,
+// applied and acknowledged, the log is synced, a final snapshot written,
+// and the log closed. It is idempotent.
 func (s *Server) Close() error {
 	s.closeMu.Lock()
 	if s.closed {
@@ -361,7 +563,8 @@ func (s *Server) Close() error {
 	return s.session.Close()
 }
 
-// loop is the single ingest goroutine: it owns every session mutation.
+// loop is the single ingest goroutine: it owns every session mutation
+// and every log write after New.
 func (s *Server) loop() {
 	defer close(s.done)
 	var tick <-chan time.Time
@@ -370,16 +573,27 @@ func (s *Server) loop() {
 		defer t.Stop()
 		tick = t.C
 	}
+	var syncTick <-chan time.Time
+	if s.log != nil && s.cfg.Fsync == wal.SyncInterval {
+		t := time.NewTicker(s.cfg.FsyncEvery)
+		defer t.Stop()
+		syncTick = t.C
+	}
 	dirty := 0
 	for {
 		select {
-		case op := <-s.ops:
-			dirty += s.apply(op)
-			dirty += s.drainPending()
+		case q := <-s.ops:
+			batch := append([]queued{q}, s.drainQueued()...)
+			dirty += s.ingest(batch)
+			s.maybeSnapshot()
 			if dirty >= s.cfg.MaintainAfter {
 				if s.maintainPublish(context.Background()) == nil {
 					dirty = 0
 				}
+			}
+		case <-syncTick:
+			if err := s.log.Sync(); err != nil {
+				s.walErrors.Add(1)
 			}
 		case <-tick:
 			if dirty > 0 {
@@ -388,37 +602,99 @@ func (s *Server) loop() {
 				}
 			}
 		case reply := <-s.flushCh:
-			dirty += s.drainPending()
+			dirty += s.ingest(s.drainQueued())
 			var err error
-			if dirty > 0 || s.View().Version() == 0 {
+			if s.log != nil {
+				if err = s.log.Sync(); err != nil {
+					s.walErrors.Add(1)
+				}
+			}
+			if err == nil && (dirty > 0 || s.View().Version() == 0) {
 				if err = s.maintainPublish(context.Background()); err == nil {
 					dirty = 0
 				}
 			}
+			s.maybeSnapshot()
 			reply <- flushReply{view: s.View(), err: err}
 		case <-s.quit:
+			s.shutdown()
 			return
 		}
 	}
 }
 
-// drainPending consumes every op already sitting in the queue without
-// blocking and returns how many were applied — the ingest batch.
-func (s *Server) drainPending() int {
-	applied := 0
+// shutdown is the graceful drain on Close: ingest what is already
+// queued (persisting and acking it), then sync, snapshot and close the
+// log.
+func (s *Server) shutdown() {
+	s.ingest(s.drainQueued())
+	if s.log == nil {
+		return
+	}
+	if err := s.log.Sync(); err != nil {
+		s.walErrors.Add(1)
+	} else if s.consumed.Load() > s.lastSnapOps {
+		s.writeSnapshot()
+	}
+	if err := s.log.Close(); err != nil {
+		s.walErrors.Add(1)
+	}
+}
+
+// drainQueued consumes every op already sitting in the queue without
+// blocking — the ingest batch.
+func (s *Server) drainQueued() []queued {
+	var batch []queued
 	for {
 		select {
-		case op := <-s.ops:
-			applied += s.apply(op)
+		case q := <-s.ops:
+			batch = append(batch, q)
 		default:
-			return applied
+			return batch
 		}
 	}
 }
 
+// ingest is the group commit: persist the whole batch to the log, sync
+// once (under wal.SyncAlways), then apply and acknowledge. If any
+// persistence step fails, the entire batch is rejected — nothing is
+// applied, every waiter gets the error — because the log is fail-stop
+// and acknowledging unpersisted ops would break the durability contract.
+// Returns the number of ops that changed the store.
+func (s *Server) ingest(batch []queued) int {
+	if len(batch) == 0 {
+		return 0
+	}
+	var perr error
+	if s.log != nil {
+		for _, q := range batch {
+			op := q.op
+			if _, err := s.log.Append(wal.Op{Kind: int(op.Kind), Items: op.Items, TID: op.TID}); err != nil {
+				perr = err
+				break
+			}
+		}
+		if perr == nil && s.cfg.Fsync == wal.SyncAlways {
+			perr = s.log.Sync()
+		}
+	}
+	applied := 0
+	for _, q := range batch {
+		if perr != nil {
+			s.walErrors.Add(1)
+			q.reply(perr)
+			continue
+		}
+		applied += s.apply(q.op)
+		q.reply(nil)
+	}
+	return applied
+}
+
 // apply performs one op against the session, returning 1 if the store
 // changed and 0 if the store rejected the op (counted, dropped). Either
-// way the op sequence advances.
+// way the op sequence advances. Recovery replays the WAL tail through
+// this same path, so live and replayed streams skip identically.
 func (s *Server) apply(op Op) int {
 	s.consumed.Add(1)
 	var err error
@@ -435,6 +711,36 @@ func (s *Server) apply(op Op) int {
 		return 0
 	}
 	return 1
+}
+
+// maybeSnapshot writes a WAL snapshot when SnapshotEvery ops have
+// accumulated since the last one.
+func (s *Server) maybeSnapshot() {
+	if s.log == nil || s.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if s.consumed.Load()-s.lastSnapOps >= uint64(s.cfg.SnapshotEvery) {
+		s.writeSnapshot()
+	}
+}
+
+// writeSnapshot persists the session's current rows as the fold of the
+// consumed op prefix, truncating the log. Errors are counted and leave
+// the previous snapshot authoritative.
+func (s *Server) writeSnapshot() error {
+	rows := s.session.Snapshot().Rows()
+	txs := make([]transactions.Itemset, len(rows))
+	for i, r := range rows {
+		txs[i] = transactions.Itemset(r)
+	}
+	ops := s.consumed.Load()
+	if err := s.log.Snapshot(txs, ops); err != nil {
+		s.walErrors.Add(1)
+		return err
+	}
+	s.lastSnapOps = ops
+	s.snapshots.Add(1)
+	return nil
 }
 
 // maintainPublish runs one Maintain over the session and publishes the

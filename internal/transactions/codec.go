@@ -1,0 +1,140 @@
+package transactions
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The stable encoding is the snapshot wire format of the durability
+// layer (internal/wal): a database encoded today must decode
+// byte-identically forever, so the format is pinned by a golden test.
+//
+// Layout:
+//
+//	byte    format version (stableFormatV1)
+//	uvarint number of transactions
+//	per transaction:
+//	  uvarint item count
+//	  uvarint first item, then uvarint deltas (strictly positive) —
+//	  itemsets are sorted ascending with no duplicates, so deltas are
+//	  >= 1 and the decoder rejects 0 as corruption.
+const stableFormatV1 = 0x01
+
+// ErrBadEncoding reports a stable-encoded stream that is truncated,
+// structurally invalid, or violates the sorted-set invariant.
+var ErrBadEncoding = errors.New("transactions: invalid stable encoding")
+
+// maxStableItems caps one transaction's declared item count, so a
+// corrupt length can't drive a giant allocation before the stream runs
+// dry.
+const maxStableItems = 1 << 24
+
+// EncodeStable writes txs in the stable binary snapshot format.
+func EncodeStable(w io.Writer, txs []Itemset) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := bw.WriteByte(stableFormatV1); err != nil {
+		return err
+	}
+	if err := put(uint64(len(txs))); err != nil {
+		return err
+	}
+	for _, tx := range txs {
+		if err := put(uint64(len(tx))); err != nil {
+			return err
+		}
+		prev := 0
+		for i, item := range tx {
+			if item < 0 || (i > 0 && item <= prev) {
+				return fmt.Errorf("%w: encoding non-normalized itemset", ErrBadEncoding)
+			}
+			delta := item - prev
+			if i == 0 {
+				delta = item
+			}
+			if err := put(uint64(delta)); err != nil {
+				return err
+			}
+			prev = item
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeStable reads one stable-encoded transaction list. Every returned
+// row is a valid Itemset (sorted ascending, no duplicates, non-negative
+// items) — the decoder verifies the invariant instead of re-normalizing,
+// so a corrupt stream fails loudly rather than silently reordering data.
+func DecodeStable(r io.Reader) ([]Itemset, error) {
+	br := bufio.NewReader(r)
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+	}
+	if version != stableFormatV1 {
+		return nil, fmt.Errorf("%w: unknown format version %#x", ErrBadEncoding, version)
+	}
+	numTx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: transaction count: %v", ErrBadEncoding, err)
+	}
+	txs := []Itemset{}
+	for t := uint64(0); t < numTx; t++ {
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: transaction %d: %v", ErrBadEncoding, t, err)
+		}
+		if count > maxStableItems {
+			return nil, fmt.Errorf("%w: transaction %d declares %d items", ErrBadEncoding, t, count)
+		}
+		tx := make(Itemset, 0, count)
+		prev := uint64(0)
+		for i := uint64(0); i < count; i++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: transaction %d item %d: %v", ErrBadEncoding, t, i, err)
+			}
+			if i > 0 && delta == 0 {
+				return nil, fmt.Errorf("%w: transaction %d: zero delta (duplicate item)", ErrBadEncoding, t)
+			}
+			item := prev + delta
+			if item > uint64(int(^uint(0)>>1)) {
+				return nil, fmt.Errorf("%w: transaction %d: item overflows int", ErrBadEncoding, t)
+			}
+			tx = append(tx, int(item))
+			prev = item
+		}
+		txs = append(txs, tx)
+	}
+	return txs, nil
+}
+
+// EncodeStable writes the database in the stable binary snapshot format.
+func (db *DB) EncodeStable(w io.Writer) error {
+	return EncodeStable(w, db.Transactions)
+}
+
+// DecodeStableDB reads one stable-encoded database, rebuilding the
+// item-universe bookkeeping that Add normally maintains.
+func DecodeStableDB(r io.Reader) (*DB, error) {
+	txs, err := DecodeStable(r)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDB()
+	for _, tx := range txs {
+		if len(tx) > 0 && tx[len(tx)-1]+1 > db.numItems {
+			db.numItems = tx[len(tx)-1] + 1
+		}
+		db.Transactions = append(db.Transactions, tx)
+	}
+	return db, nil
+}

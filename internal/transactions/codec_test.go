@@ -1,0 +1,118 @@
+package transactions
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestStableCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		db := NewDB()
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			row := make([]int, rng.Intn(8))
+			for j := range row {
+				row[j] = rng.Intn(500)
+			}
+			if err := db.Add(row...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.EncodeStable(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeStableDB(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != db.Len() || got.NumItems() != db.NumItems() {
+			t.Fatalf("trial %d: got %d tx / %d items, want %d / %d",
+				trial, got.Len(), got.NumItems(), db.Len(), db.NumItems())
+		}
+		for i := range db.Transactions {
+			if !got.Transactions[i].Equal(db.Transactions[i]) {
+				t.Fatalf("trial %d: transaction %d mismatch: %v vs %v",
+					trial, i, got.Transactions[i], db.Transactions[i])
+			}
+		}
+	}
+}
+
+// TestStableCodecGolden pins the wire format: these exact bytes must
+// decode forever, or old snapshots become unreadable.
+func TestStableCodecGolden(t *testing.T) {
+	db := NewDB()
+	for _, row := range [][]int{{3, 1, 2}, {}, {7}, {0, 128, 4}} {
+		if err := db.Add(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.EncodeStable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = "0104030101010001070300047c"
+	if got := hex.EncodeToString(buf.Bytes()); got != want {
+		t.Fatalf("stable encoding changed:\n got %s\nwant %s", got, want)
+	}
+	dec, err := DecodeStableDB(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 4 || dec.NumItems() != 129 {
+		t.Fatalf("golden decode: %d tx, %d items", dec.Len(), dec.NumItems())
+	}
+}
+
+func TestStableCodecErrors(t *testing.T) {
+	db := NewDB()
+	if err := db.Add(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.EncodeStable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(valid); n++ {
+			if _, err := DecodeStable(bytes.NewReader(valid[:n])); !errors.Is(err, ErrBadEncoding) {
+				t.Fatalf("prefix %d: got %v, want ErrBadEncoding", n, err)
+			}
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{0x7f}, valid[1:]...)
+		if _, err := DecodeStable(bytes.NewReader(bad)); !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("zero delta", func(t *testing.T) {
+		// version, 1 tx, 2 items, first 5, delta 0 (duplicate).
+		bad := []byte{stableFormatV1, 0x01, 0x02, 0x05, 0x00}
+		if _, err := DecodeStable(bytes.NewReader(bad)); !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("huge count", func(t *testing.T) {
+		// 1 tx claiming 2^40 items.
+		var bad bytes.Buffer
+		bad.WriteByte(stableFormatV1)
+		bad.WriteByte(0x01)
+		bad.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+		if _, err := DecodeStable(bytes.NewReader(bad.Bytes())); !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("non-normalized encode", func(t *testing.T) {
+		if err := EncodeStable(&bytes.Buffer{}, []Itemset{{3, 1}}); !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}

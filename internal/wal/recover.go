@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/transactions"
+)
+
+// Recovery is the state reconstructed from a data directory: the newest
+// valid snapshot plus the op tail replayed from the segments after it.
+// The recovered op sequence is Snapshot folded through Tail — always a
+// clean prefix of what was logged, truncated at the first torn or
+// corrupt record.
+type Recovery struct {
+	// Snapshot is the newest valid snapshot's rows (nil when none).
+	Snapshot []transactions.Itemset
+	// SnapshotOps is the op offset the snapshot covers.
+	SnapshotOps uint64
+	// Tail is the ops logged after the snapshot, in sequence order
+	// (ops SnapshotOps+1 through Ops).
+	Tail []Op
+	// Ops is the recovered op count: SnapshotOps + len(Tail).
+	Ops uint64
+	// Truncated reports that recovery cut a torn or corrupt tail (or
+	// skipped an invalid snapshot) — expected after a crash, alarming
+	// after a clean shutdown.
+	Truncated bool
+
+	// Repair plan applied by Open: rewrite repairName to repairData
+	// (delete it when nil) and remove dropNames, so the truncated
+	// suffix can never be resurrected by a later recovery.
+	repairName string
+	repairData []byte
+	dropNames  []string
+}
+
+// parseName extracts the hex offset from a "<prefix><16 hex><suffix>"
+// file name.
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		!strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):len(prefix)+16], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Recover scans the directory and reconstructs the recovered state
+// without modifying anything (Open applies the repair plan). The scan:
+// pick the newest snapshot that passes its checksum; replay the segments
+// above it in start order, demanding strictly contiguous sequence
+// numbers; stop at the first torn/corrupt record or sequence break and
+// plan the truncation of everything at and after it.
+func Recover(fsys FS) (*Recovery, error) {
+	names, err := fsys.ReadDir()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovery{}
+	type entry struct {
+		name  string
+		start uint64
+	}
+	var segs, snaps []entry
+	for _, name := range names {
+		if start, ok := parseName(name, "wal-", ".log"); ok {
+			segs = append(segs, entry{name, start})
+			continue
+		}
+		if at, ok := parseName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, entry{name, at})
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			rec.dropNames = append(rec.dropNames, name)
+		}
+	}
+
+	// Newest checksum-valid snapshot wins; damaged ones are dropped and
+	// recovery falls back to the one before (or a full replay).
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].start > snaps[j].start })
+	for _, sn := range snaps {
+		if rec.Snapshot != nil {
+			break
+		}
+		data, err := fsys.ReadFile(sn.name)
+		if err == nil {
+			if txs, ops, derr := decodeSnapshot(data); derr == nil && ops == sn.start {
+				rec.Snapshot = txs
+				if rec.Snapshot == nil {
+					rec.Snapshot = []transactions.Itemset{}
+				}
+				rec.SnapshotOps = ops
+				continue
+			}
+		}
+		rec.Truncated = true
+		rec.dropNames = append(rec.dropNames, sn.name)
+	}
+
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	expect := rec.SnapshotOps
+	stopped := false
+	for i, seg := range segs {
+		if seg.start < rec.SnapshotOps {
+			// Fully covered by the snapshot.
+			rec.dropNames = append(rec.dropNames, seg.name)
+			continue
+		}
+		if stopped {
+			rec.dropNames = append(rec.dropNames, seg.name)
+			continue
+		}
+		// An op limit from the next segment's start: records at or past
+		// it belong to an abandoned suffix a previous truncation already
+		// superseded.
+		limit := ^uint64(0)
+		if i+1 < len(segs) {
+			limit = segs[i+1].start
+		}
+		data, err := fsys.ReadFile(seg.name)
+		if err != nil {
+			rec.truncateAt(seg.name, nil)
+			stopped = true
+			continue
+		}
+		start, off, err := decodeSegmentHeader(data)
+		if err != nil || start != seg.start || start != expect {
+			rec.truncateAt(seg.name, nil)
+			stopped = true
+			continue
+		}
+		for off < len(data) {
+			op, seq, n, derr := decodeRecord(data[off:])
+			if derr != nil || seq != expect+1 {
+				rec.truncateAt(seg.name, data[:off])
+				stopped = true
+				break
+			}
+			if seq > limit {
+				// Abandoned suffix: ignore it, the next segment restarts
+				// at limit.
+				break
+			}
+			rec.Tail = append(rec.Tail, op)
+			expect = seq
+			off += n
+		}
+	}
+	rec.Ops = expect
+	return rec, nil
+}
+
+// truncateAt plans the repair for a damaged segment: rewrite it to its
+// valid prefix (delete it when the header itself is unreadable) and mark
+// the recovery truncated.
+func (r *Recovery) truncateAt(name string, validPrefix []byte) {
+	r.Truncated = true
+	r.repairName = name
+	r.repairData = append([]byte(nil), validPrefix...)
+	if validPrefix == nil {
+		r.repairData = nil
+	}
+}
+
+// repair applies the truncation plan: atomically rewrite the damaged
+// segment to its valid prefix and remove superseded or abandoned files.
+// Run before the log appends anything, so a crash during repair is just
+// another crash before new writes — recovery converges.
+func (r *Recovery) repair(fsys FS) error {
+	if r.repairName != "" {
+		if r.repairData == nil {
+			if err := fsys.Remove(r.repairName); err != nil {
+				return err
+			}
+		} else {
+			tmp := r.repairName + ".tmp"
+			f, err := fsys.Create(tmp)
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(r.repairData); err == nil {
+				err = f.Sync()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			if err := fsys.Rename(tmp, r.repairName); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range r.dropNames {
+		if err := fsys.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

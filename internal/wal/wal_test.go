@@ -1,0 +1,449 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/transactions"
+)
+
+// opFixture returns a deterministic op for sequence position i (1-based),
+// mixing appends, deletes and store-invalid payloads — the log must
+// round-trip all of them verbatim.
+func opFixture(i int) Op {
+	switch i % 4 {
+	case 0:
+		return Op{Kind: 1, TID: i / 2}
+	case 1:
+		return Op{Kind: 0, Items: []int{i, i + 1, i * 3}}
+	case 2:
+		return Op{Kind: 0, Items: []int{-i, 7}} // store-invalid, still logged
+	default:
+		return Op{Kind: 0, Items: nil}
+	}
+}
+
+// rowsAt is the snapshot fixture: c single-item rows.
+func rowsAt(c int) []transactions.Itemset {
+	rows := make([]transactions.Itemset, c)
+	for i := range rows {
+		rows[i] = transactions.Itemset{i}
+	}
+	return rows
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	ops := []Op{
+		{},
+		{Kind: 0, Items: []int{5, 1, 5, -3}},
+		{Kind: 1, TID: 1 << 40},
+		{Kind: 99, Items: []int{0}, TID: -9},
+	}
+	var buf []byte
+	for i, op := range ops {
+		buf = appendRecord(buf, uint64(i+1), op)
+	}
+	off := 0
+	for i, want := range ops {
+		op, seq, n, err := decodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d", i, seq)
+		}
+		if op.Kind != want.Kind || op.TID != want.TID || !reflect.DeepEqual(op.Items, want.Items) {
+			t.Fatalf("record %d: got %+v, want %+v", i, op, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	valid := appendRecord(nil, 7, Op{Kind: 0, Items: []int{1, 2, 3}})
+	t.Run("truncated prefixes", func(t *testing.T) {
+		for n := 0; n < len(valid); n++ {
+			_, _, _, err := decodeRecord(valid[:n])
+			if !errors.Is(err, ErrTruncatedRecord) && !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("prefix %d: got %v", n, err)
+			}
+		}
+	})
+	t.Run("bit flips", func(t *testing.T) {
+		for i := range valid {
+			bad := append([]byte(nil), valid...)
+			bad[i] ^= 0x40
+			op, seq, n, err := decodeRecord(bad)
+			if err == nil && (seq != 7 || n != len(valid) || !reflect.DeepEqual(op.Items, []int{1, 2, 3})) {
+				t.Fatalf("flip at %d: silently decoded %+v seq %d", i, op, seq)
+			}
+		}
+	})
+	t.Run("length overflow", func(t *testing.T) {
+		bad := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+		if _, _, _, err := decodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("item count bomb", func(t *testing.T) {
+		// Payload claims 2^32 items with 0 bytes behind them.
+		payload := []byte{0x01, 0x00, 0x00, 0x90, 0x80, 0x80, 0x80, 0x10}
+		rec := appendRecordRaw(payload)
+		if _, _, _, err := decodeRecord(rec); !errors.Is(err, ErrCorruptRecord) {
+			t.Fatalf("got %v", err)
+		}
+	})
+}
+
+func TestSegmentHeaderRoundTrip(t *testing.T) {
+	for _, start := range []uint64{0, 1, 1 << 50} {
+		hdr := appendSegmentHeader(nil, start)
+		got, n, err := decodeSegmentHeader(hdr)
+		if err != nil || got != start || n != len(hdr) {
+			t.Fatalf("start %d: got %d, n %d, err %v", start, got, n, err)
+		}
+	}
+	if _, _, err := decodeSegmentHeader([]byte("NOTAWAL!")); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	blob, err := encodeSnapshot(rowsAt(5), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs, ops, err := decodeSnapshot(blob)
+	if err != nil || ops != 42 || len(txs) != 5 {
+		t.Fatalf("got %d rows at %d, err %v", len(txs), ops, err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, _, err := decodeSnapshot(blob[:n]); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("prefix %d: got %v", n, err)
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-6] ^= 1
+	if _, _, err := decodeSnapshot(bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("flip: got %v", err)
+	}
+}
+
+func TestOpenAppendRecover(t *testing.T) {
+	fs := NewMemFS()
+	l, rec, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ops != 0 || rec.Snapshot != nil || rec.Truncated {
+		t.Fatalf("fresh recovery: %+v", rec)
+	}
+	const n = 25
+	for i := 1; i <= n; i++ {
+		seq, err := l.Append(opFixture(i))
+		if err != nil || seq != uint64(i) {
+			t.Fatalf("append %d: seq %d, err %v", i, seq, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err = Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ops != n || rec.Truncated || len(rec.Tail) != n {
+		t.Fatalf("recovery: ops %d, truncated %v, tail %d", rec.Ops, rec.Truncated, len(rec.Tail))
+	}
+	for i, op := range rec.Tail {
+		want := opFixture(i + 1)
+		if !reflect.DeepEqual(op, want) {
+			t.Fatalf("tail %d: got %+v, want %+v", i, op, want)
+		}
+	}
+}
+
+func TestSnapshotRotationAndGC(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(rowsAt(10), 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 11; i <= 14; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(rowsAt(14), 14); err != nil {
+		t.Fatal(err)
+	}
+	for i := 15; i <= 16; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, _ := fs.ReadDir()
+	want := []string{snapName(14), segName(14)}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("directory after GC: %v, want %v", names, want)
+	}
+	_, rec, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotOps != 14 || len(rec.Snapshot) != 14 || rec.Ops != 16 || len(rec.Tail) != 2 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if !reflect.DeepEqual(rec.Tail[0], opFixture(15)) || !reflect.DeepEqual(rec.Tail[1], opFixture(16)) {
+		t.Fatalf("tail: %+v", rec.Tail)
+	}
+}
+
+func TestSnapshotAtWrongOffset(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(opFixture(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(rowsAt(3), 3); err == nil {
+		t.Fatal("snapshot at the wrong offset accepted")
+	}
+}
+
+// TestTornTailTruncatedAndRepaired pins the repair path: a torn final
+// record is cut on recovery, the segment file is rewritten to its valid
+// prefix, and — the abandoned-suffix hazard — a second recovery after
+// more appends must not resurrect the cut record.
+func TestTornTailTruncatedAndRepaired(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 3 bytes.
+	data, err := fs.ReadFile(segName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-3]
+	f, _ := fs.Create(segName(0))
+	f.Write(torn)
+	f.Sync()
+	f.Close()
+
+	l, rec, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || rec.Ops != 4 || len(rec.Tail) != 4 {
+		t.Fatalf("torn recovery: ops %d, truncated %v", rec.Ops, rec.Truncated)
+	}
+	// The damaged segment must have been rewritten to its valid prefix.
+	repaired, err := fs.ReadFile(segName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) >= len(torn) {
+		t.Fatalf("segment not truncated: %d >= %d bytes", len(repaired), len(torn))
+	}
+	// Continue appending (ops 5 and 6 in the new numbering), then recover
+	// again: the old op 5 must stay gone.
+	for i := 5; i <= 6; i++ {
+		if _, err := l.Append(opFixture(100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err = Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated || rec.Ops != 6 {
+		t.Fatalf("second recovery: ops %d, truncated %v", rec.Ops, rec.Truncated)
+	}
+	if !reflect.DeepEqual(rec.Tail[4], opFixture(105)) {
+		t.Fatalf("tail op 5 is %+v, want the re-appended one", rec.Tail[4])
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(rowsAt(4), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the snapshot body: recovery must fall back to a full
+	// replay... but GC already removed the pre-snapshot segment, so the
+	// honest outcome is truncation to the empty state. Keep the segment
+	// by re-creating it from the op stream instead: simplest is to verify
+	// the fallback flags.
+	data, err := fs.ReadFile(snapName(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	f, _ := fs.Create(snapName(4))
+	f.Write(data)
+	f.Sync()
+	f.Close()
+
+	_, rec, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("corrupt snapshot not flagged")
+	}
+	if rec.Snapshot != nil || rec.SnapshotOps != 0 {
+		t.Fatalf("corrupt snapshot still loaded: %+v", rec)
+	}
+}
+
+func TestFailStop(t *testing.T) {
+	mem := NewMemFS()
+	// Sync always fails: the first Append survives (write ok), the first
+	// Sync poisons the log, everything after returns ErrWALFailed.
+	ffs := NewFaultFS(mem, FaultPlan{Seed: 1, SyncErr: 1})
+	l := &Log{fs: ffs, policy: SyncAlways}
+	// Build the segment by hand: openSegment would already fail its sync.
+	f, err := mem.Create(segName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(appendSegmentHeader(nil, 0))
+	f.Sync()
+	l.f = &faultFile{fs: ffs, inner: f}
+	if _, err := l.Append(opFixture(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("sync: %v", err)
+	}
+	if _, err := l.Append(opFixture(2)); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("append after failure: %v", err)
+	}
+	if err := l.Snapshot(rowsAt(1), 1); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("snapshot after failure: %v", err)
+	}
+}
+
+// TestCrashProperty is the wal-layer half of the tentpole property: for
+// random op streams, sync points and crash instants, recovery always
+// yields a clean prefix of the appended sequence that includes every
+// synced op — across seeds, with snapshots in the mix.
+func TestCrashProperty(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fs := NewMemFS()
+			l, _, err := Open(fs, Options{Policy: SyncNever})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var appended []Op
+			synced := 0 // ops known durable
+			n := 5 + rng.Intn(60)
+			for i := 1; i <= n; i++ {
+				op := opFixture(rng.Intn(1000))
+				if _, err := l.Append(op); err != nil {
+					t.Fatal(err)
+				}
+				appended = append(appended, op)
+				switch rng.Intn(10) {
+				case 0:
+					if err := l.Sync(); err != nil {
+						t.Fatal(err)
+					}
+					synced = i
+				case 1:
+					if err := l.Snapshot(rowsAt(i), uint64(i)); err != nil {
+						t.Fatal(err)
+					}
+					synced = i
+				}
+			}
+			// Crash without closing.
+			crashed := fs.Crash(rng)
+			_, rec, err := Open(crashed, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Ops < uint64(synced) {
+				t.Fatalf("lost synced ops: recovered %d < synced %d", rec.Ops, synced)
+			}
+			if rec.Ops > uint64(n) {
+				t.Fatalf("invented ops: recovered %d > appended %d", rec.Ops, n)
+			}
+			if len(rec.Snapshot) != int(rec.SnapshotOps) {
+				t.Fatalf("snapshot rows %d at ops %d", len(rec.Snapshot), rec.SnapshotOps)
+			}
+			if rec.SnapshotOps+uint64(len(rec.Tail)) != rec.Ops {
+				t.Fatalf("ops %d != snapshot %d + tail %d", rec.Ops, rec.SnapshotOps, len(rec.Tail))
+			}
+			for i, op := range rec.Tail {
+				want := appended[int(rec.SnapshotOps)+i]
+				if !reflect.DeepEqual(op, want) {
+					t.Fatalf("tail %d: got %+v, want %+v", i, op, want)
+				}
+			}
+		})
+	}
+}
+
+// appendRecordRaw frames an arbitrary payload as a record (valid length
+// and checksum, possibly invalid payload) — the corruption tests' tool.
+func appendRecordRaw(payload []byte) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}

@@ -127,6 +127,21 @@ func (d *DB) NumItems() int {
 	return d.db.NumItems()
 }
 
+// Rows returns the database's transactions as one row of sorted,
+// deduplicated item ids per transaction, in live order. The rows alias
+// the store — treat them as read-only. Serving tiers use this to
+// snapshot a Session's store for durable persistence.
+func (d *DB) Rows() [][]int {
+	if d == nil {
+		return nil
+	}
+	rows := make([][]int, len(d.db.Transactions))
+	for i, tx := range d.db.Transactions {
+		rows[i] = tx
+	}
+	return rows
+}
+
 // unwrap returns the internal database (nil for a nil DB, which the
 // engines report as ErrEmptyDB).
 func (d *DB) unwrap() *transactions.DB {
