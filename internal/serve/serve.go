@@ -400,7 +400,7 @@ func New(db *mining.DB, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.session = session
-	s.view.Store(&View{}) // version 0: empty until the first publish
+	s.publish(&View{}) // version 0: empty until the first maintain
 	fail := func(err error) (*Server, error) {
 		session.Close()
 		if s.log != nil {
@@ -434,12 +434,20 @@ func New(db *mining.DB, cfg Config) (*Server, error) {
 		}
 	}
 	s.ready.Store(true)
+	//lint:ignore invcheck/goroutines loop is joined by Close, which signals s.quit and blocks on <-s.done until the goroutine exits
 	go s.loop()
 	return s, nil
 }
 
 // View returns the current published view (never nil).
 func (s *Server) View() *View { return s.view.Load() }
+
+// publish swaps the served view pointer. It is the only function that
+// may store s.view (enforced by the invcheck atomicpublish analyzer):
+// readers dereference the pointer exactly once and the query cache
+// keys on the view's version, so centralizing the swap is what keeps
+// version monotonicity and ops stamping auditable.
+func (s *Server) publish(v *View) { s.view.Store(v) }
 
 // Ready reports whether startup — WAL recovery, tail replay and the
 // first publish — has completed. The HTTP readiness endpoint serves 503
@@ -753,7 +761,7 @@ func (s *Server) maintainPublish(ctx context.Context) error {
 	res, mstats, err := s.session.Maintain(ctx)
 	if err != nil {
 		if errors.Is(err, mining.ErrEmptyDB) {
-			s.view.Store(&View{version: prev.version + 1, ops: ops, stats: mstats})
+			s.publish(&View{version: prev.version + 1, ops: ops, stats: mstats})
 			s.maintains.Add(1)
 			return nil
 		}
@@ -765,7 +773,7 @@ func (s *Server) maintainPublish(ctx context.Context) error {
 		s.ingestErrors.Add(1)
 		return err
 	}
-	s.view.Store(&View{
+	s.publish(&View{
 		version: prev.version + 1,
 		ops:     ops,
 		numTx:   res.NumTx(),

@@ -131,6 +131,8 @@ func (d *DB) NumItems() int {
 // deduplicated item ids per transaction, in live order. The rows alias
 // the store — treat them as read-only. Serving tiers use this to
 // snapshot a Session's store for durable persistence.
+//
+//lint:ignore invcheck/ctxdiscipline Rows is an O(n) header-copying accessor, not a counting hot loop; there is no scan to cancel and snapshotting must not fail mid-copy
 func (d *DB) Rows() [][]int {
 	if d == nil {
 		return nil

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// analyzerAtomicPublish guards the snapshot-consistency contract of the
+// serving tier: readers are lock-free because every query dereferences
+// the atomic.Pointer-published View exactly once, and the never-stale
+// cache keys on the View's version. That only stays auditable while
+// the pointer is swapped in one designated place — a store scattered
+// into an arbitrary code path can publish a View whose version, ops
+// stamp, and cache interaction were never reasoned about. In
+// internal/serve, atomic.Pointer stores are therefore confined to
+// publish helpers (functions whose name contains "publish").
+var analyzerAtomicPublish = &Analyzer{
+	Name:     "atomicpublish",
+	Doc:      "atomic.Pointer stores in internal/serve happen only inside publish helpers",
+	Packages: []string{"serve"},
+	Run:      runAtomicPublish,
+}
+
+// runAtomicPublish reports .Store calls on atomic.Pointer struct fields
+// outside functions whose name contains "publish". Fields are resolved
+// per file: the Server struct and its stores live in the same file, and
+// fixtures mirror that.
+func runAtomicPublish(f *SrcFile) []Finding {
+	fields := atomicPointerFields(f)
+	if len(fields) == 0 {
+		return nil
+	}
+	var out []Finding
+	funcBodies(f, func(fd *ast.FuncDecl) {
+		if strings.Contains(strings.ToLower(fd.Name.Name), "publish") {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Store" {
+				return true
+			}
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || !fields[inner.Sel.Name] {
+				return true
+			}
+			out = append(out, f.finding("atomicpublish", call.Pos(),
+				"atomic.Pointer field %s stored outside a publish helper (in %s); route the swap through publish so version/ops stamping stays centralized", inner.Sel.Name, fd.Name.Name))
+			return true
+		})
+	})
+	return out
+}
+
+// atomicPointerFields collects names of struct fields declared as
+// atomic.Pointer[T] in this file.
+func atomicPointerFields(f *SrcFile) map[string]bool {
+	atomicIdent := importIdent(f, "sync/atomic")
+	fields := make(map[string]bool)
+	if atomicIdent == "" {
+		return fields
+	}
+	for _, decl := range f.File.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				idx, ok := field.Type.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := idx.X.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Pointer" {
+					continue
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != atomicIdent {
+					continue
+				}
+				for _, name := range field.Names {
+					fields[name.Name] = true
+				}
+			}
+		}
+	}
+	return fields
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// analyzerDeterminism guards the byte-identity contract: engine code
+// must produce the same bytes on every run, across workers, shardings,
+// transports, and WAL replays. Wall-clock reads, the global math/rand
+// source, and map iteration order are the three ways nondeterminism has
+// historically crept into mining engines, so all three are gated in the
+// packages whose outputs are compared byte-for-byte.
+var analyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall-clock, unseeded rand, or unsorted map-range output in byte-identity packages",
+	Packages: []string{
+		"assoc", "fptree", "hashtree", "transactions", "dist", "wal",
+	},
+	Run: runDeterminism,
+}
+
+// seededRandOK lists math/rand selectors that construct seeded sources
+// rather than draw from the process-global one.
+var seededRandOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// runDeterminism reports time.Now/time.Since calls, global-source
+// math/rand calls, and map-range loops that append to slices or write
+// output without an intervening sort.
+func runDeterminism(f *SrcFile) []Finding {
+	var out []Finding
+	timeIdent := importIdent(f, "time")
+	randIdent := importIdent(f, "math/rand")
+	if randIdent == "" {
+		randIdent = importIdent(f, "math/rand/v2")
+	}
+	ast.Inspect(f.File, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, fn := range []string{"Now", "Since"} {
+			if isPkgCall(call, timeIdent, fn) {
+				out = append(out, f.finding("determinism", call.Pos(),
+					"time.%s in replayed engine code breaks byte-identity; inject a clock or measure outside the engine", fn))
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && randIdent != "" {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == randIdent && !seededRandOK[sel.Sel.Name] {
+				out = append(out, f.finding("determinism", call.Pos(),
+					"rand.%s draws from the global source; use rand.New(rand.NewSource(seed)) so runs replay", sel.Sel.Name))
+			}
+		}
+		return true
+	})
+	funcBodies(f, func(fd *ast.FuncDecl) {
+		out = append(out, checkMapRanges(f, fd)...)
+	})
+	return out
+}
+
+// checkMapRanges flags range statements over locally-provable maps
+// whose bodies append to a slice with no sort call anywhere in the
+// enclosing function, or write directly to output. Map types are
+// inferred syntactically (parameters, var declarations, make/composite
+// assignments), so fields and cross-package maps are out of scope —
+// the gate catches the common local pattern without type checking.
+func checkMapRanges(f *SrcFile, fd *ast.FuncDecl) []Finding {
+	maps := localMapNames(fd)
+	if len(maps) == 0 {
+		return nil
+	}
+	hasSort := funcHasSortCall(fd)
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := rs.X.(*ast.Ident)
+		if !ok || !maps[id.Name] {
+			return true
+		}
+		appends, writes := false, false
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "append":
+				if !appendPerRangeKey(call, rs) {
+					appends = true
+				}
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln", "Write", "WriteString":
+				writes = true
+			}
+			return true
+		})
+		if writes {
+			out = append(out, f.finding("determinism", rs.Pos(),
+				"map iteration order over %s reaches the output stream; collect and sort first", id.Name))
+		} else if appends && !hasSort {
+			out = append(out, f.finding("determinism", rs.Pos(),
+				"range over map %s appends to a slice with no sort in %s; iteration order leaks into results", id.Name, fd.Name.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// localMapNames collects identifiers provably map-typed inside fd:
+// map-typed parameters, var declarations, and := / = assignments from
+// make(map[...]) or map literals.
+func localMapNames(fd *ast.FuncDecl) map[string]bool {
+	maps := make(map[string]bool)
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, ok := field.Type.(*ast.MapType); ok {
+				for _, name := range field.Names {
+					maps[name.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if _, isMap := vs.Type.(*ast.MapType); isMap {
+					for _, name := range vs.Names {
+						maps[name.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if exprIsMap(rhs) {
+					maps[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return maps
+}
+
+// exprIsMap reports whether the expression syntactically constructs a
+// map: make(map[...]...) or a map composite literal.
+func exprIsMap(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			_, isMap := v.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.CompositeLit:
+		_, isMap := v.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// appendPerRangeKey reports whether the append's destination is an
+// index expression keyed by the range statement's key variable
+// (m2[k] = append(m2[k], …)): each key is visited exactly once, so the
+// iteration order cannot leak into any single slice.
+func appendPerRangeKey(call *ast.CallExpr, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || len(call.Args) == 0 {
+		return false
+	}
+	idx, ok := call.Args[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	return ok && id.Name == key.Name
+}
+
+// funcHasSortCall reports whether any call in fd's body resolves to a
+// sort-ish callee (sort.Ints, slices.SortFunc, or a helper whose name
+// contains "sort", like the engines' sortLevel) — the "intervening
+// sort" that makes map-order appends deterministic again. Qualified
+// calls are matched on the full pkg.Func name so sort.Ints counts.
+func funcHasSortCall(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				name = id.Name + "." + sel.Sel.Name
+			}
+		}
+		if strings.Contains(strings.ToLower(name), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// analyzerErrWrap guards the error-discipline contract from PR 6:
+// package-level Err* sentinels (ErrNoHealthyWorkers, ErrWALFailed, …)
+// travel through retry loops, transports, and facade layers wrapped in
+// context, so direct ==/!= comparisons and %v formatting silently stop
+// matching the moment anyone adds a wrap. errors.Is and %w are the only
+// forms that survive composition.
+var analyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "Err* sentinels are matched with errors.Is and wrapped with %w",
+	Run:  runErrWrap,
+}
+
+// runErrWrap reports ==/!= comparisons against sentinels, switch cases
+// on sentinels, and fmt.Errorf calls that format a sentinel without %w.
+func runErrWrap(f *SrcFile) []Finding {
+	var out []Finding
+	fmtIdent := importIdent(f, "fmt")
+	ast.Inspect(f.File, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op != token.EQL && v.Op != token.NEQ {
+				return true
+			}
+			if name := sentinelName(v.X); name != "" {
+				out = append(out, f.finding("errwrap", v.Pos(),
+					"sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, v.Op))
+			} else if name := sentinelName(v.Y); name != "" {
+				out = append(out, f.finding("errwrap", v.Pos(),
+					"sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, v.Op))
+			}
+		case *ast.SwitchStmt:
+			if v.Tag == nil {
+				return true
+			}
+			for _, stmt := range v.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					if name := sentinelName(expr); name != "" {
+						out = append(out, f.finding("errwrap", expr.Pos(),
+							"switch case on sentinel %s compares with ==; use errors.Is chains instead", name))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if !isPkgCall(v, fmtIdent, "Errorf") || len(v.Args) < 2 {
+				return true
+			}
+			lit, ok := v.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+				return true
+			}
+			for _, arg := range v.Args[1:] {
+				if name := deepSentinelName(arg); name != "" {
+					out = append(out, f.finding("errwrap", v.Pos(),
+						"fmt.Errorf formats sentinel %s without %%w; errors.Is will not match the result", name))
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sentinelName returns the Err*-style name when the expression is a
+// bare or package-qualified sentinel identifier, "" otherwise.
+func sentinelName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if isSentinelIdent(v.Name) {
+			return v.Name
+		}
+	case *ast.SelectorExpr:
+		if isSentinelIdent(v.Sel.Name) {
+			if id, ok := v.X.(*ast.Ident); ok {
+				return id.Name + "." + v.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// deepSentinelName walks the expression for any embedded sentinel
+// reference (covers arguments like ErrX or pkg.ErrX inside casts).
+func deepSentinelName(e ast.Expr) string {
+	name := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			if s := sentinelName(expr); s != "" {
+				name = s
+				return false
+			}
+		}
+		return true
+	})
+	return name
+}
+
+// isSentinelIdent reports whether name follows the package-sentinel
+// convention: Err followed by an upper-case letter or digit.
+func isSentinelIdent(name string) bool {
+	if !strings.HasPrefix(name, "Err") || len(name) < 4 {
+		return false
+	}
+	r := rune(name[3])
+	return unicode.IsUpper(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Finding is one invariant violation at a source position.
+type Finding struct {
+	File     string
+	Line     int
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the file:line: [analyzer] message form
+// that CI consumers and editors parse.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one registered invariant check. Run is invoked once per
+// parsed non-test file whose package name matches Packages (nil means
+// every package).
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Packages []string
+	Run      func(f *SrcFile) []Finding
+}
+
+// appliesTo reports whether the analyzer gates the named package.
+func (a *Analyzer) appliesTo(pkg string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// SrcFile is one parsed source file handed to analyzers.
+type SrcFile struct {
+	Fset *token.FileSet
+	File *ast.File
+	Path string
+	Pkg  string
+}
+
+// position resolves an AST position against the file set.
+func (f *SrcFile) position(pos token.Pos) token.Position {
+	return f.Fset.Position(pos)
+}
+
+// finding builds a Finding for the analyzer at the given position.
+func (f *SrcFile) finding(name string, pos token.Pos, format string, args ...any) Finding {
+	p := f.position(pos)
+	return Finding{File: p.Filename, Line: p.Line, Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// registry lists every analyzer in the order their findings group in
+// the README; selectAnalyzers resolves -only against it.
+var registry = []*Analyzer{
+	analyzerDeterminism,
+	analyzerCtxDiscipline,
+	analyzerErrWrap,
+	analyzerGoroutines,
+	analyzerAtomicPublish,
+}
+
+// checkTree walks root and runs the selected analyzers over every
+// non-test Go file, honoring the testdata/vendor/examples exemptions
+// and the inline suppression directives.
+func checkTree(root string, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || name == "examples" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		src := &SrcFile{Fset: fset, File: file, Path: p, Pkg: file.Name.Name}
+		var raw []Finding
+		for _, a := range analyzers {
+			if a.appliesTo(src.Pkg) {
+				raw = append(raw, a.Run(src)...)
+			}
+		}
+		findings = append(findings, applySuppressions(src, raw)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// suppression is one parsed //lint:ignore invcheck/<name> reason
+// directive.
+type suppression struct {
+	analyzer string
+	reason   string
+	line     int
+	pos      token.Pos
+}
+
+// parseSuppressions extracts every invcheck ignore directive from the
+// file's comments, keyed by the source line the comment sits on.
+func parseSuppressions(f *SrcFile) []suppression {
+	var out []suppression
+	for _, cg := range f.File.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:ignore ") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore "))
+			target, reason, _ := strings.Cut(rest, " ")
+			if !strings.HasPrefix(target, "invcheck/") {
+				continue // other linters' directives are not ours to police
+			}
+			out = append(out, suppression{
+				analyzer: strings.TrimPrefix(target, "invcheck/"),
+				reason:   strings.TrimSpace(reason),
+				line:     f.position(c.Pos()).Line,
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// applySuppressions filters findings covered by a reasoned directive on
+// the same line or the line above, and appends [suppress] findings for
+// malformed directives: a missing reason or an unknown analyzer name is
+// itself a violation, so suppressions stay auditable.
+func applySuppressions(f *SrcFile, raw []Finding) []Finding {
+	sups := parseSuppressions(f)
+	known := make(map[string]bool, len(registry))
+	for _, a := range registry {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, s := range sups {
+		if !known[s.analyzer] {
+			out = append(out, f.finding("suppress", s.pos,
+				"suppression names unknown analyzer %q (have %s)", s.analyzer, registryNames()))
+			continue
+		}
+		if s.reason == "" {
+			out = append(out, f.finding("suppress", s.pos,
+				"suppression for invcheck/%s is missing a reason", s.analyzer))
+		}
+	}
+	for _, fd := range raw {
+		suppressed := false
+		for _, s := range sups {
+			if s.analyzer == fd.Analyzer && s.reason != "" && (s.line == fd.Line || s.line == fd.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// importIdent returns the identifier that refers to importPath in this
+// file ("" when the file does not import it), accounting for renamed
+// imports.
+func importIdent(f *SrcFile, importPath string) string {
+	for _, imp := range f.File.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return path.Base(p)
+	}
+	return ""
+}
+
+// calleeName returns the terminal name of a call's callee: the selector
+// field for pkg.F or recv.M calls, the identifier for plain calls, ""
+// otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isPkgCall reports whether call is pkgIdent.name(...) for the given
+// package identifier (as resolved by importIdent).
+func isPkgCall(call *ast.CallExpr, pkgIdent, name string) bool {
+	if pkgIdent == "" {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkgIdent
+}
+
+// funcBodies yields every function declaration and its body in the
+// file, including methods; bodies of function literals are visited as
+// part of their enclosing declaration.
+func funcBodies(f *SrcFile, visit func(decl *ast.FuncDecl)) {
+	for _, decl := range f.File.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			visit(fd)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command invcheck is the CI invariant gate: a multi-analyzer static
+// checker that mechanically enforces the repo's determinism, context,
+// error-discipline, goroutine-join, and snapshot-publish contracts —
+// the invariants that keep results byte-identical across workers,
+// shardings, transports, and WAL replays, and that property tests can
+// only catch probabilistically.
+//
+// Usage:
+//
+//	go run ./tools/invcheck [-only=name,name] [dir ...]
+//
+// Each dir is walked recursively (a trailing /... is accepted and
+// equivalent); without arguments the current directory is walked.
+// Files under testdata, vendor, examples, and dot-directories are
+// exempt, as are _test.go files. Exit status 1 reports violations, one
+// per line, as file:line: [analyzer] message; exit status 2 reports a
+// usage or parse error.
+//
+// Analyzers (run all by default; -only selects a subset):
+//
+//	determinism   — no wall-clock reads or unseeded math/rand in the
+//	                byte-identity engine packages (assoc, fptree,
+//	                hashtree, transactions, dist, wal), and no range
+//	                over a map that appends to a slice or writes output
+//	                without an intervening sort.
+//	ctxdiscipline — exported functions in engine/dist/serve packages
+//	                that loop over shards or transactions take
+//	                ctx context.Context as their first parameter, and
+//	                no struct stores a context outside the allowlist.
+//	errwrap       — Err* sentinels are matched with errors.Is (never
+//	                ==/!= or switch cases) and wrapped with %w.
+//	goroutines    — every go statement is lexically paired with a
+//	                WaitGroup or channel join in the same function.
+//	atomicpublish — in internal/serve, atomic.Pointer stores happen
+//	                only inside a designated publish helper.
+//
+// A finding can be suppressed with a reasoned inline directive on the
+// same line or the line above:
+//
+//	//lint:ignore invcheck/<analyzer> <reason>
+//
+// A suppression without a reason, or naming an unknown analyzer, is
+// itself a violation ([suppress]).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, runs the selected
+// analyzers over every root, prints findings to stdout, and returns the
+// process exit code (0 clean, 1 violations, 2 usage/parse error).
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("invcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "invcheck:", err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var findings []Finding
+	for _, root := range roots {
+		v, err := checkTree(normalizeRoot(root), analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "invcheck:", err)
+			return 2
+		}
+		findings = append(findings, v...)
+	}
+	sortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "invcheck: %d invariant violations\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// normalizeRoot maps a go-style package pattern like ./... onto the
+// directory it names, so `go run ./tools/invcheck ./...` works the way
+// the other go tools do. The walk is always recursive.
+func normalizeRoot(root string) string {
+	root = strings.TrimSuffix(root, "...")
+	root = strings.TrimSuffix(root, "/")
+	if root == "" {
+		root = "."
+	}
+	return root
+}
+
+// selectAnalyzers resolves -only against the registry: an empty spec
+// selects every registered analyzer, and an unknown name is a usage
+// error so CI misconfigurations fail loudly rather than gate nothing.
+func selectAnalyzers(only string) ([]*Analyzer, error) {
+	if only == "" {
+		return registry, nil
+	}
+	byName := make(map[string]*Analyzer, len(registry))
+	for _, a := range registry {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, registryNames())
+		}
+		if !seen[name] {
+			out = append(out, a)
+			seen[name] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers (have %s)", registryNames())
+	}
+	return out, nil
+}
+
+// registryNames returns the registered analyzer names, comma-joined,
+// for error messages.
+func registryNames() string {
+	names := make([]string, len(registry))
+	for i, a := range registry {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// sortFindings orders findings by file, then line, then analyzer and
+// message, so output is deterministic and diffs are stable.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

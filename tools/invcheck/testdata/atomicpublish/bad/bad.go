@@ -1,0 +1,22 @@
+// Package serve is an atomicpublish bad fixture: view stores scattered
+// outside the publish helper.
+package serve
+
+import "sync/atomic"
+
+type view struct{ version uint64 }
+
+type server struct {
+	view atomic.Pointer[view]
+}
+
+// refresh stores the view pointer directly instead of routing through
+// the publish helper: flagged.
+func (s *server) refresh() {
+	s.view.Store(&view{})
+}
+
+// reset also swaps in place: flagged.
+func (s *server) reset(v *view) {
+	s.view.Store(v)
+}

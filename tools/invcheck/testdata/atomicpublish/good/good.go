@@ -1,0 +1,30 @@
+// Package serve is an atomicpublish good fixture: every view swap goes
+// through the designated publish helper, and non-pointer atomics are
+// not gated.
+package serve
+
+import "sync/atomic"
+
+type view struct{ version uint64 }
+
+type server struct {
+	view  atomic.Pointer[view]
+	ready atomic.Bool
+}
+
+// publish is the single designated store point.
+func (s *server) publish(v *view) {
+	s.view.Store(v)
+}
+
+// refresh routes its swap through publish and flips a scalar atomic,
+// which the analyzer does not gate.
+func (s *server) refresh() {
+	s.publish(&view{})
+	s.ready.Store(true)
+}
+
+// load-only use is always fine.
+func (s *server) current() *view {
+	return s.view.Load()
+}

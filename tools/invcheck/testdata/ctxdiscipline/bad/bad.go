@@ -1,0 +1,29 @@
+// Package dist is a ctxdiscipline bad fixture: exported shard loops
+// without a leading ctx, a misnamed context parameter, and a struct
+// capturing a context.
+package dist
+
+import "context"
+
+// CountAll loops over shards but takes no context at all.
+func CountAll(shards []int) int {
+	total := 0
+	for _, sh := range shards {
+		total += sh
+	}
+	return total
+}
+
+// ScanTransactions has a context, but not first and not named ctx.
+func ScanTransactions(transactions []int, c context.Context) int {
+	n := 0
+	for range transactions {
+		n++
+	}
+	_ = c
+	return n
+}
+
+type pinnedScanner struct {
+	ctx context.Context
+}

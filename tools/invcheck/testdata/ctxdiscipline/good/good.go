@@ -1,0 +1,55 @@
+// Package serve is a ctxdiscipline good fixture: ctx-first shard
+// loops, rpc-shaped service methods, unexported helpers, and loops
+// over non-shard data.
+package serve
+
+import "context"
+
+// CountShards takes ctx first, as every cancellable shard loop must.
+func CountShards(ctx context.Context, shards []int) int {
+	total := 0
+	for _, sh := range shards {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += sh
+	}
+	return total
+}
+
+// countLocal is unexported: internal helpers inherit their caller's
+// polling contract and are not gated.
+func countLocal(shards []int) int {
+	n := 0
+	for range shards {
+		n++
+	}
+	return n
+}
+
+// Worker is an rpc service carrier for the shape exemption below.
+type Worker struct{}
+
+// CountArgs is the rpc request type.
+type CountArgs struct{ Shards []int }
+
+// CountReply is the rpc reply type.
+type CountReply struct{ Total int }
+
+// CountShards is net/rpc-shaped (value args, pointer reply, error
+// result) and structurally cannot take a context: exempt.
+func (w *Worker) CountShards(args CountArgs, reply *CountReply) error {
+	for _, sh := range args.Shards {
+		reply.Total += sh
+	}
+	return nil
+}
+
+// TopRules loops, but not over shards or transactions: not gated.
+func TopRules(rules []string) []string {
+	var out []string
+	for _, r := range rules {
+		out = append(out, r)
+	}
+	return out
+}

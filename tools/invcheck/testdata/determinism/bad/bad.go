@@ -1,0 +1,32 @@
+// Package assoc is a determinism bad fixture: wall-clock reads,
+// global-source rand, and map iteration leaking into results.
+package assoc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func globalRand() int {
+	return rand.Intn(10)
+}
+
+func mapOrderIntoSlice(counts map[int]int) []int {
+	var out []int
+	for k, v := range counts {
+		out = append(out, k*v)
+	}
+	return out
+}
+
+func mapOrderIntoOutput(counts map[int]int) {
+	for k, v := range counts {
+		fmt.Println(k, v)
+	}
+}

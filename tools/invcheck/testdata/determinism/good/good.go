@@ -1,0 +1,36 @@
+// Package wal is a determinism good fixture: seeded randomness,
+// sorted map drains, per-key appends, and slice iteration.
+package wal
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func sortedDrain(counts map[int]int) []int {
+	var keys []int
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func perKeyAppend(parts map[int][]int, extra map[int]int) {
+	for k, v := range extra {
+		parts[k] = append(parts[k], v)
+	}
+}
+
+func sliceIteration(rows [][]int) []int {
+	var out []int
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package experiments is outside the determinism gate: measurement
+// harnesses may read the wall clock and the analyzer must not fire.
+package experiments
+
+import "time"
+
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

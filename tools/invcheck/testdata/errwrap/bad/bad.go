@@ -1,0 +1,34 @@
+// Package wal is an errwrap bad fixture: sentinel comparisons with
+// ==/!=, a switch over sentinels, and %v-wrapping a sentinel.
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the fixture sentinel.
+var ErrCorrupt = errors.New("corrupt")
+
+func compare(err error) bool {
+	return err == ErrCorrupt
+}
+
+func compareNeq(err error) bool {
+	if err != ErrCorrupt {
+		return true
+	}
+	return false
+}
+
+func viaSwitch(err error) string {
+	switch err {
+	case ErrCorrupt:
+		return "corrupt"
+	}
+	return "ok"
+}
+
+func wrapWithoutW(offset int) error {
+	return fmt.Errorf("segment at %d: %v", offset, ErrCorrupt)
+}

@@ -1,0 +1,34 @@
+// Package wal is an errwrap good fixture: errors.Is matching and %w
+// wrapping, plus non-sentinel comparisons that must not fire.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt is the fixture sentinel.
+var ErrCorrupt = errors.New("corrupt")
+
+func match(err error) bool {
+	return errors.Is(err, ErrCorrupt)
+}
+
+func wrapWithW(offset int) error {
+	return fmt.Errorf("segment at %d: %w", offset, ErrCorrupt)
+}
+
+func plainComparisons(err error, n int) bool {
+	if err == nil {
+		return false
+	}
+	if err == io.EOF && n == 0 {
+		return true
+	}
+	return n != 3
+}
+
+func formatNonSentinel(err error) error {
+	return fmt.Errorf("recoverable: %v", err)
+}

@@ -1,0 +1,17 @@
+// Package worker is a goroutines bad fixture: detached go statements
+// with no join evidence in the enclosing function.
+package worker
+
+func fireAndForget(work func()) {
+	go work()
+}
+
+func detachedLiteral(jobs []int) {
+	for _, j := range jobs {
+		go func(j int) {
+			process(j)
+		}(j)
+	}
+}
+
+func process(int) {}

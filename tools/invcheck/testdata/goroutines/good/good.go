@@ -1,0 +1,45 @@
+// Package worker is a goroutines good fixture: WaitGroup pairing,
+// channel joins, and the Done-in-body / Wait-in-Close lifecycle.
+package worker
+
+import "sync"
+
+func waitGroupJoin(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			process(j)
+		}(j)
+	}
+	wg.Wait()
+}
+
+func channelJoin(work func() error) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- work()
+	}()
+	return <-done
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+// start's goroutine carries wg.Done in its body; the matching Wait
+// lives in stop — the WaitGroup is the join token across the lifecycle.
+func (p *pool) start(work func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}
+
+func (p *pool) stop() {
+	p.wg.Wait()
+}
+
+func process(int) {}

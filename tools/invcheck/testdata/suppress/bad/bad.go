@@ -1,0 +1,14 @@
+// Package worker is a suppression bad fixture: a reasonless ignore, an
+// ignore naming an unknown analyzer, and an unsuppressed violation next
+// to them.
+package worker
+
+func missingReason(work func()) {
+	//lint:ignore invcheck/goroutines
+	go work()
+}
+
+func unknownAnalyzer(work func()) {
+	//lint:ignore invcheck/nosuchcheck detached on purpose
+	go work()
+}

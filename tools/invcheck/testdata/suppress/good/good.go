@@ -1,0 +1,23 @@
+// Package worker is a suppression good fixture: a reasoned ignore on
+// the line above its violation, a same-line ignore, and a directive for
+// a different linter that invcheck must leave alone.
+package worker
+
+func documentedDetach(work func()) {
+	//lint:ignore invcheck/goroutines fixture goroutine is joined by the process exit; detaching is the point of this fixture
+	go work()
+}
+
+func sameLineDetach(work func()) {
+	go work() //lint:ignore invcheck/goroutines fixture goroutine detaches deliberately with a same-line directive
+}
+
+func otherLinter(work func()) {
+	done := make(chan struct{})
+	//lint:ignore SA1000 someone else's directive, not invcheck's to police
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
