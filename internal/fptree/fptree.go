@@ -149,11 +149,14 @@ func (t *Tree) NumNodes() int { return len(t.nodes) - 1 }
 // rank (most frequent first) and inserts the path with count 1. buf is a
 // reusable rank buffer; the possibly-grown buffer is returned so callers
 // can thread it through a build loop without reallocating.
+//
+//invcheck:hotpath
 func (t *Tree) AddTransaction(tx transactions.Itemset, buf []int32) []int32 {
 	buf = buf[:0]
 	for _, item := range tx {
 		if item < len(t.ranks.OfItem) {
 			if rk := t.ranks.OfItem[item]; rk >= 0 {
+				//lint:ignore invcheck/allocbound buf is the caller-threaded scratch buffer: it grows to the longest transaction once and is reused for the rest of the build
 				buf = append(buf, rk)
 			}
 		}
@@ -173,10 +176,13 @@ func (t *Tree) AddTransaction(tx transactions.Itemset, buf []int32) []int32 {
 
 // Insert adds one rank path (ascending ranks, i.e. most frequent first)
 // with the given count, sharing existing prefix nodes.
+//
+//invcheck:hotpath
 func (t *Tree) Insert(path []int32, count int) {
 	cur := int32(0)
 	for _, rk := range path {
 		if t.totals[rk] == 0 {
+			//lint:ignore invcheck/allocbound present grows at most once per distinct rank — bounded by |L1|, not by the transaction count
 			t.present = append(t.present, rk)
 		}
 		t.totals[rk] += count
@@ -195,6 +201,8 @@ func (t *Tree) Present() []int32 {
 
 // step descends from cur to its rk child, creating the child if missing,
 // and adds count to it.
+//
+//invcheck:hotpath
 func (t *Tree) step(cur, rk int32, count int) int32 {
 	var child int32
 	if cur == 0 {
@@ -207,6 +215,7 @@ func (t *Tree) step(cur, rk int32, count int) int32 {
 	}
 	if child == 0 {
 		child = int32(len(t.nodes))
+		//lint:ignore invcheck/allocbound node-arena growth: a node is created once per distinct path prefix and the backing array doubles amortized, far below one alloc per transaction
 		t.nodes = append(t.nodes, node{
 			rank:    rk,
 			parent:  cur,

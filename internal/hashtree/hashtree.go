@@ -148,7 +148,11 @@ func (t *Tree) CountTransaction(tx transactions.Itemset, tid int) {
 }
 
 // count descends from n; items before start are already consumed by the
-// path, depth is the node's depth in the tree.
+// path, depth is the node's depth in the tree. The recursion is
+// allocation-free: support counting runs once per transaction per pass,
+// and allocbound holds it to zero provable allocation sites.
+//
+//invcheck:hotpath
 func (t *Tree) count(n *node, tx transactions.Itemset, start, depth, tid int) {
 	if n.children == nil {
 		for _, e := range n.entries {
@@ -196,6 +200,10 @@ func (t *Tree) CountTransactionInto(tx transactions.Itemset, tid int, buf *Count
 	t.countInto(t.root, tx, 0, 0, tid, buf)
 }
 
+// countInto is count for the concurrent mode; like count it must stay
+// allocation-free, since it runs once per transaction per worker.
+//
+//invcheck:hotpath
 func (t *Tree) countInto(n *node, tx transactions.Itemset, start, depth, tid int, buf *CountBuffer) {
 	if n.children == nil {
 		for _, e := range n.entries {
@@ -216,6 +224,8 @@ func (t *Tree) countInto(n *node, tx transactions.Itemset, start, depth, tid int
 
 // Merge folds a worker buffer's counts into the shared entry counts. Call
 // it from a single goroutine after all concurrent counting has finished.
+//
+//invcheck:hotpath
 func (t *Tree) Merge(buf *CountBuffer) {
 	for id, c := range buf.Counts {
 		t.byID[id].Count += c

@@ -192,7 +192,16 @@ func (m *MemFS) Crash(rng *rand.Rand) *MemFS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := NewMemFS()
-	for name, f := range m.files {
+	// Sorted order so the rng draws hit files in a fixed sequence: the
+	// same seed must produce the same crash image, or the crash-recovery
+	// property tests stop being reproducible.
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := m.files[name]
 		keep := f.synced
 		if tail := len(f.data) - f.synced; tail > 0 {
 			keep += rng.Intn(tail + 1)

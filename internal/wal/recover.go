@@ -184,14 +184,15 @@ func (r *Recovery) repair(fsys FS) error {
 			if err != nil {
 				return err
 			}
-			if _, err := f.Write(r.repairData); err == nil {
-				err = f.Sync()
+			_, werr := f.Write(r.repairData)
+			if werr == nil {
+				werr = f.Sync()
 			}
-			if cerr := f.Close(); err == nil {
-				err = cerr
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
 			}
-			if err != nil {
-				return err
+			if werr != nil {
+				return werr
 			}
 			if err := fsys.Rename(tmp, r.repairName); err != nil {
 				return err

@@ -233,14 +233,17 @@ func (l *Log) Snapshot(txs []transactions.Itemset, ops uint64) error {
 		next.Close()
 		return err
 	}
-	if _, err := sf.Write(blob); err == nil {
-		err = sf.Sync()
+	_, werr := sf.Write(blob)
+	if werr == nil {
+		werr = sf.Sync()
 	}
-	sf.Close()
-	if err != nil {
+	if cerr := sf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
 		next.Close()
 		l.fs.Remove(tmp)
-		return err
+		return werr
 	}
 	if err := l.fs.Rename(tmp, snapName(ops)); err != nil {
 		next.Close()

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/transactions"
@@ -446,4 +447,167 @@ func appendRecordRaw(payload []byte) []byte {
 	buf := binary.AppendUvarint(nil, uint64(len(payload)))
 	buf = append(buf, payload...)
 	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+}
+
+// snapFaultFS fails writes or syncs only on .tmp files (the snapshot
+// staging path), letting the log's own segments run clean.
+type snapFaultFS struct {
+	FS
+	failWrite bool
+	failSync  bool
+}
+
+func (s *snapFaultFS) Create(name string) (File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(name, ".tmp") {
+		return &snapFaultFile{File: f, fs: s}, nil
+	}
+	return f, nil
+}
+
+type snapFaultFile struct {
+	File
+	fs *snapFaultFS
+}
+
+func (f *snapFaultFile) Write(p []byte) (int, error) {
+	if f.fs.failWrite {
+		return 0, errors.New("injected: snapshot blob write failed")
+	}
+	return f.File.Write(p)
+}
+
+func (f *snapFaultFile) Sync() error {
+	if f.fs.failSync {
+		return errors.New("injected: snapshot blob sync failed")
+	}
+	return f.File.Sync()
+}
+
+// TestSnapshotWriteFailureNotSwallowed is the regression test for a
+// shadowed-err bug in Snapshot: the error from writing or fsyncing the
+// snapshot blob was assigned to an if-scoped variable and checked on
+// the outer one, so a torn snapshot was renamed into place and gc then
+// deleted the segments it supposedly superseded. A failed blob write or
+// sync must fail the call and leave the previous snapshot authoritative.
+func TestSnapshotWriteFailureNotSwallowed(t *testing.T) {
+	modes := []struct {
+		name      string
+		failWrite bool
+		failSync  bool
+	}{
+		{"write", true, false},
+		{"sync", false, true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			mem := NewMemFS()
+			sfs := &snapFaultFS{FS: mem}
+			l, _, err := Open(sfs, Options{Policy: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 2; i++ {
+				if _, err := l.Append(opFixture(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Snapshot(rowsAt(2), 2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append(opFixture(3)); err != nil {
+				t.Fatal(err)
+			}
+			sfs.failWrite, sfs.failSync = mode.failWrite, mode.failSync
+			if err := l.Snapshot(rowsAt(3), 3); err == nil {
+				t.Fatal("Snapshot with a failed blob write/sync returned nil")
+			}
+			if _, err := mem.ReadFile(snapName(3)); err == nil {
+				t.Fatal("torn snapshot was renamed into place")
+			}
+			_, rec, err := Open(mem, Options{Policy: SyncAlways})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.SnapshotOps != 2 {
+				t.Fatalf("recovered snapshot covers %d ops, want the previous snapshot's 2", rec.SnapshotOps)
+			}
+			if rec.Ops != 3 {
+				t.Fatalf("recovered %d ops, want 3", rec.Ops)
+			}
+		})
+	}
+}
+
+// repairFaultFS fails every write on .tmp files: the recovery repair
+// path stages its truncated segment through one.
+type repairFaultFS struct {
+	FS
+}
+
+func (s *repairFaultFS) Create(name string) (File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(name, ".tmp") {
+		return &repairFaultFile{File: f}, nil
+	}
+	return f, nil
+}
+
+type repairFaultFile struct{ File }
+
+func (f *repairFaultFile) Write(p []byte) (int, error) {
+	return 0, errors.New("injected: repair write failed")
+}
+
+// TestRepairWriteFailureNotSwallowed is the recover.go twin of the
+// Snapshot regression: a failed write of the repaired segment must fail
+// Open rather than atomically renaming an empty file over the segment.
+func TestRepairWriteFailureNotSwallowed(t *testing.T) {
+	mem := NewMemFS()
+	l, _, err := Open(mem, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(opFixture(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the segment tail so the next recovery must repair it.
+	name := segName(0)
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := mem.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := torn.Write(data[:len(data)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := torn.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(&repairFaultFS{FS: mem}, Options{Policy: SyncAlways}); err == nil {
+		t.Fatal("Open with a failed repair write returned nil")
+	}
+	// The original (torn but untouched) segment must still recover its
+	// valid prefix once the fault is gone.
+	_, rec, err := Open(mem, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Ops != 2 {
+		t.Fatalf("recovered %d ops after repair, want 2", rec.Ops)
+	}
+	if !rec.Truncated {
+		t.Fatal("torn tail not reported as truncated")
+	}
 }

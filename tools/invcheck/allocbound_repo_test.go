@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllocBoundReportsPartitionLocalPhase pins the analyzer against the
+// real repository, not a fixture: Partition's phase-1 local miner
+// (mineVertical in internal/assoc/partition.go) is the ROADMAP's named
+// allocation hotspot (76 MB / 1.4 M allocs per run), and its sites are
+// deliberately suppressed in-tree with reasons. This test bypasses the
+// suppression layer and asserts the raw analyzer still proves every one
+// of those sites, so the suppressions stay honest: if a refactor removes
+// an allocation the stale directive shows up here, and if allocbound
+// regresses into missing them the repo gate would silently stop
+// guarding the hot path.
+func TestAllocBoundReportsPartitionLocalPhase(t *testing.T) {
+	units, err := sharedLoader.loadUnits("../../internal/assoc")
+	if err != nil {
+		t.Fatalf("loading internal/assoc: %v", err)
+	}
+	var raw []Finding
+	for _, u := range units {
+		if u.Pkg != "assoc" {
+			continue
+		}
+		for _, f := range u.Files {
+			raw = append(raw, analyzerAllocBound.Run(f)...)
+		}
+	}
+	sortFindings(raw)
+
+	var mineVertical []Finding
+	for _, fd := range raw {
+		if strings.Contains(fd.Message, "mineVertical") {
+			mineVertical = append(mineVertical, fd)
+			if !strings.HasSuffix(fd.File, "partition.go") {
+				t.Errorf("mineVertical finding outside partition.go: %s", fd)
+			}
+		}
+	}
+
+	// The known local-phase allocation sites, in source order: the L1
+	// singleton itemset literal and its level append (same line), the
+	// result accumulation append, and the per-candidate join append.
+	wants := []string{
+		"allocates a slice literal transactions.Itemset",
+		"appends to level",
+		"appends to out",
+		"appends to next",
+	}
+	if len(mineVertical) != len(wants) {
+		t.Fatalf("mineVertical findings = %d, want %d:\n%s",
+			len(mineVertical), len(wants), joinFindings(mineVertical))
+	}
+	for _, want := range wants {
+		found := false
+		for _, fd := range mineVertical {
+			if strings.Contains(fd.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no mineVertical finding matching %q in:\n%s", want, joinFindings(mineVertical))
+		}
+	}
+
+	// And the suppressed tree is clean: every raw finding above carries a
+	// reasoned directive.
+	var after []Finding
+	for _, u := range units {
+		after = append(after, checkUnit(u, []*Analyzer{analyzerAllocBound})...)
+	}
+	if len(after) != 0 {
+		t.Errorf("suppressed tree not clean:\n%s", joinFindings(after))
+	}
+}

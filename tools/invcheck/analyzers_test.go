@@ -63,6 +63,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 			wants: []string{
 				"sentinel ErrCorrupt compared with ==",
 				"sentinel ErrCorrupt compared with !=",
+				"sentinel io.EOF compared with ==",
+				"sentinel errShutdown compared with ==",
 				"switch case on sentinel ErrCorrupt",
 				"fmt.Errorf formats sentinel ErrCorrupt without %w",
 			},
@@ -79,6 +81,39 @@ func TestAnalyzerFixtures(t *testing.T) {
 			wants: []string{
 				"field view stored outside a publish helper (in refresh)",
 				"field view stored outside a publish helper (in reset)",
+			},
+		},
+		{
+			analyzer: "allocbound",
+			wants: []string{
+				"hot path sliceLiteral allocates a slice literal []int",
+				"hot path mapLiteral allocates a map literal map[int]bool",
+				"hot path heapEscape heap-allocates &record",
+				"hot path growingAppend appends to dst without capacity provably preallocated by make",
+				"hot path concat concatenates strings",
+				"hot path boxes boxes id (int) into interface parameter",
+				"hot path closureCapture creates a closure capturing total by reference",
+			},
+		},
+		{
+			analyzer: "mergepure",
+			wants: []string{
+				"Merge stores to parameter src",
+				"StampInto touches package-level mutable state mergeEpoch",
+				"currentEpoch touches package-level mutable state mergeEpoch",
+				"TraceInto calls fmt.Println, which is not on the pure-helper allowlist",
+				"HookInto calls through a function value (hook)",
+			},
+		},
+		{
+			analyzer: "walfailstop",
+			wants: []string{
+				"error from Sync discarded",
+				"error from Write assigned to _",
+				"bad.go:29: [walfailstop] error from Sync assigned to err but never read",
+				"bad.go:48: [walfailstop] error from Sync assigned to err but never read",
+				"error from Write not checked before subsequent rename",
+				"error from deferred Sync discarded",
 			},
 		},
 	}

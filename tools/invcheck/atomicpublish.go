@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -14,6 +15,12 @@ import (
 // stamp, and cache interaction were never reasoned about. In
 // internal/serve, atomic.Pointer stores are therefore confined to
 // publish helpers (functions whose name contains "publish").
+//
+// The typed pass matches sync/atomic.Pointer[T] by type identity: the
+// receiver of every .Store call is resolved through go/types, so
+// stores through locals, embedded structs, aliases, and fields declared
+// in other files are all gated — the syntactic pass only saw fields
+// declared in the same file as the store.
 var analyzerAtomicPublish = &Analyzer{
 	Name:     "atomicpublish",
 	Doc:      "atomic.Pointer stores in internal/serve happen only inside publish helpers",
@@ -21,15 +28,10 @@ var analyzerAtomicPublish = &Analyzer{
 	Run:      runAtomicPublish,
 }
 
-// runAtomicPublish reports .Store calls on atomic.Pointer struct fields
-// outside functions whose name contains "publish". Fields are resolved
-// per file: the Server struct and its stores live in the same file, and
-// fixtures mirror that.
+// runAtomicPublish reports .Store calls whose receiver's type is
+// sync/atomic.Pointer[T] outside functions whose name contains
+// "publish".
 func runAtomicPublish(f *SrcFile) []Finding {
-	fields := atomicPointerFields(f)
-	if len(fields) == 0 {
-		return nil
-	}
 	var out []Finding
 	funcBodies(f, func(fd *ast.FuncDecl) {
 		if strings.Contains(strings.ToLower(fd.Name.Name), "publish") {
@@ -44,57 +46,39 @@ func runAtomicPublish(f *SrcFile) []Finding {
 			if !ok || sel.Sel.Name != "Store" {
 				return true
 			}
-			inner, ok := sel.X.(*ast.SelectorExpr)
-			if !ok || !fields[inner.Sel.Name] {
+			if !isAtomicPointer(f.typeOf(sel.X)) {
 				return true
 			}
 			out = append(out, f.finding("atomicpublish", call.Pos(),
-				"atomic.Pointer field %s stored outside a publish helper (in %s); route the swap through publish so version/ops stamping stays centralized", inner.Sel.Name, fd.Name.Name))
+				"atomic.Pointer field %s stored outside a publish helper (in %s); route the swap through publish so version/ops stamping stays centralized", storeTargetName(sel.X), fd.Name.Name))
 			return true
 		})
 	})
 	return out
 }
 
-// atomicPointerFields collects names of struct fields declared as
-// atomic.Pointer[T] in this file.
-func atomicPointerFields(f *SrcFile) map[string]bool {
-	atomicIdent := importIdent(f, "sync/atomic")
-	fields := make(map[string]bool)
-	if atomicIdent == "" {
-		return fields
+// isAtomicPointer reports whether t (possibly behind a pointer or
+// alias) is the generic sync/atomic.Pointer type.
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
 	}
-	for _, decl := range f.File.Decls {
-		gd, ok := decl.(*ast.GenDecl)
-		if !ok {
-			continue
-		}
-		for _, spec := range gd.Specs {
-			ts, ok := spec.(*ast.TypeSpec)
-			if !ok {
-				continue
-			}
-			st, ok := ts.Type.(*ast.StructType)
-			if !ok {
-				continue
-			}
-			for _, field := range st.Fields.List {
-				idx, ok := field.Type.(*ast.IndexExpr)
-				if !ok {
-					continue
-				}
-				sel, ok := idx.X.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Pointer" {
-					continue
-				}
-				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != atomicIdent {
-					continue
-				}
-				for _, name := range field.Names {
-					fields[name.Name] = true
-				}
-			}
-		}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
 	}
-	return fields
+	return isNamedType(t, "sync/atomic", "Pointer")
+}
+
+// storeTargetName names the stored-to value for the finding message:
+// the terminal field or variable name.
+func storeTargetName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.StarExpr:
+		return storeTargetName(v.X)
+	}
+	return types.ExprString(e)
 }

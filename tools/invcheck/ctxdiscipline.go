@@ -13,6 +13,11 @@ import (
 // first parameter; and contexts must flow through call chains, never
 // hide in struct fields where they outlive their caller (the
 // ctxFieldAllowlist names the session types permitted to carry one).
+//
+// The typed pass resolves context.Context by type identity, so type
+// aliases (type reqCtx = context.Context) and renamed imports cannot
+// smuggle a stored context past the gate the way they could past the
+// selector-text match.
 var analyzerCtxDiscipline = &Analyzer{
 	Name:     "ctxdiscipline",
 	Doc:      "shard/transaction loops in exported engine functions take ctx first; no ctx struct fields",
@@ -30,7 +35,6 @@ var ctxFieldAllowlist = map[string]bool{}
 // leading ctx parameter and struct fields that capture a context.
 func runCtxDiscipline(f *SrcFile) []Finding {
 	var out []Finding
-	ctxIdent := importIdent(f, "context")
 	funcBodies(f, func(fd *ast.FuncDecl) {
 		if !fd.Name.IsExported() || isRPCShape(fd) {
 			return
@@ -39,7 +43,7 @@ func runCtxDiscipline(f *SrcFile) []Finding {
 		if loop == nil {
 			return
 		}
-		if !firstParamIsCtx(fd, ctxIdent) {
+		if !firstParamIsCtx(f, fd) {
 			out = append(out, f.finding("ctxdiscipline", fd.Pos(),
 				"exported %s loops over shards/transactions but does not take ctx context.Context as its first parameter; hot loops must be cancellable", fd.Name.Name))
 		}
@@ -59,7 +63,7 @@ func runCtxDiscipline(f *SrcFile) []Finding {
 				continue
 			}
 			for _, field := range st.Fields.List {
-				if isContextType(field.Type, ctxIdent) {
+				if isContextType(f, field.Type) {
 					out = append(out, f.finding("ctxdiscipline", field.Pos(),
 						"struct %s stores a context.Context; pass ctx through calls (or allowlist a session type with a documented lifecycle)", ts.Name.Name))
 				}
@@ -157,7 +161,7 @@ func mentionsShardish(e ast.Expr) bool {
 // ctx context.Context (both the name and the type are part of the
 // contract: callers grep for ctx, and the name is what the hot-loop
 // polling helpers close over).
-func firstParamIsCtx(fd *ast.FuncDecl, ctxIdent string) bool {
+func firstParamIsCtx(f *SrcFile, fd *ast.FuncDecl) bool {
 	if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
 		return false
 	}
@@ -165,16 +169,12 @@ func firstParamIsCtx(fd *ast.FuncDecl, ctxIdent string) bool {
 	if len(first.Names) == 0 || first.Names[0].Name != "ctx" {
 		return false
 	}
-	return isContextType(first.Type, ctxIdent)
+	return isContextType(f, first.Type)
 }
 
-// isContextType reports whether t is the context.Context selector for
-// the file's context import.
-func isContextType(t ast.Expr, ctxIdent string) bool {
-	sel, ok := t.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Context" {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && ctxIdent != "" && id.Name == ctxIdent
+// isContextType reports whether the type expression denotes
+// context.Context, resolved through the checker so aliases and renamed
+// imports count.
+func isContextType(f *SrcFile, t ast.Expr) bool {
+	return isNamedType(f.typeOf(t), "context", "Context")
 }

@@ -2,7 +2,7 @@ package main
 
 import (
 	"go/ast"
-	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -11,17 +11,24 @@ import (
 // transports, and WAL replays. Wall-clock reads, the global math/rand
 // source, and map iteration order are the three ways nondeterminism has
 // historically crept into mining engines, so all three are gated in the
-// packages whose outputs are compared byte-for-byte.
+// packages whose outputs are compared byte-for-byte. The serving tier
+// and the sequence miners are in scope too: serve's views replay
+// against from-scratch mines, and seqmine is next onto the substrate.
+//
+// The typed pass resolves callees through go/types (renamed imports and
+// wrapper aliases cannot hide a wall-clock read) and recognizes ranges
+// over any map-typed expression — struct fields and cross-package maps
+// included, which the syntactic pass could not see.
 var analyzerDeterminism = &Analyzer{
 	Name: "determinism",
 	Doc:  "no wall-clock, unseeded rand, or unsorted map-range output in byte-identity packages",
 	Packages: []string{
-		"assoc", "fptree", "hashtree", "transactions", "dist", "wal",
+		"assoc", "fptree", "hashtree", "transactions", "dist", "wal", "serve", "seqmine",
 	},
 	Run: runDeterminism,
 }
 
-// seededRandOK lists math/rand selectors that construct seeded sources
+// seededRandOK lists math/rand functions that construct seeded sources
 // rather than draw from the process-global one.
 var seededRandOK = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
@@ -33,27 +40,20 @@ var seededRandOK = map[string]bool{
 // output without an intervening sort.
 func runDeterminism(f *SrcFile) []Finding {
 	var out []Finding
-	timeIdent := importIdent(f, "time")
-	randIdent := importIdent(f, "math/rand")
-	if randIdent == "" {
-		randIdent = importIdent(f, "math/rand/v2")
-	}
 	ast.Inspect(f.File, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		for _, fn := range []string{"Now", "Since"} {
-			if isPkgCall(call, timeIdent, fn) {
+			if f.isPkgFunc(call, "time", fn) {
 				out = append(out, f.finding("determinism", call.Pos(),
 					"time.%s in replayed engine code breaks byte-identity; inject a clock or measure outside the engine", fn))
 			}
 		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && randIdent != "" {
-			if id, ok := sel.X.(*ast.Ident); ok && id.Name == randIdent && !seededRandOK[sel.Sel.Name] {
-				out = append(out, f.finding("determinism", call.Pos(),
-					"rand.%s draws from the global source; use rand.New(rand.NewSource(seed)) so runs replay", sel.Sel.Name))
-			}
+		if name, ok := globalRandCall(f, call); ok {
+			out = append(out, f.finding("determinism", call.Pos(),
+				"rand.%s draws from the global source; use rand.New(rand.NewSource(seed)) so runs replay", name))
 		}
 		return true
 	})
@@ -63,17 +63,36 @@ func runDeterminism(f *SrcFile) []Finding {
 	return out
 }
 
-// checkMapRanges flags range statements over locally-provable maps
-// whose bodies append to a slice with no sort call anywhere in the
-// enclosing function, or write directly to output. Map types are
-// inferred syntactically (parameters, var declarations, make/composite
-// assignments), so fields and cross-package maps are out of scope —
-// the gate catches the common local pattern without type checking.
-func checkMapRanges(f *SrcFile, fd *ast.FuncDecl) []Finding {
-	maps := localMapNames(fd)
-	if len(maps) == 0 {
-		return nil
+// globalRandCall reports whether call draws from math/rand's (or
+// rand/v2's) process-global source: a package-level function of either
+// package that is not one of the seeded constructors. Methods on
+// seeded *rand.Rand values resolve to a receiver-carrying signature and
+// never match.
+func globalRandCall(f *SrcFile, call *ast.CallExpr) (string, bool) {
+	fn, ok := f.calleeObj(call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
 	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return "", false
+	}
+	if seededRandOK[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkMapRanges flags range statements over map-typed expressions
+// whose bodies append to a slice with no sort call anywhere in the
+// enclosing function, or write directly to output. The map type comes
+// from the checker, so fields (s.counts), call results, and
+// cross-package maps are all in scope — not just locally-declared
+// identifiers.
+func checkMapRanges(f *SrcFile, fd *ast.FuncDecl) []Finding {
 	hasSort := funcHasSortCall(fd)
 	var out []Finding
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -81,10 +100,14 @@ func checkMapRanges(f *SrcFile, fd *ast.FuncDecl) []Finding {
 		if !ok {
 			return true
 		}
-		id, ok := rs.X.(*ast.Ident)
-		if !ok || !maps[id.Name] {
+		t := f.typeOf(rs.X)
+		if t == nil {
 			return true
 		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		label := types.ExprString(rs.X)
 		appends, writes := false, false
 		ast.Inspect(rs.Body, func(m ast.Node) bool {
 			call, ok := m.(*ast.CallExpr)
@@ -103,81 +126,14 @@ func checkMapRanges(f *SrcFile, fd *ast.FuncDecl) []Finding {
 		})
 		if writes {
 			out = append(out, f.finding("determinism", rs.Pos(),
-				"map iteration order over %s reaches the output stream; collect and sort first", id.Name))
+				"map iteration order over %s reaches the output stream; collect and sort first", label))
 		} else if appends && !hasSort {
 			out = append(out, f.finding("determinism", rs.Pos(),
-				"range over map %s appends to a slice with no sort in %s; iteration order leaks into results", id.Name, fd.Name.Name))
+				"range over map %s appends to a slice with no sort in %s; iteration order leaks into results", label, fd.Name.Name))
 		}
 		return true
 	})
 	return out
-}
-
-// localMapNames collects identifiers provably map-typed inside fd:
-// map-typed parameters, var declarations, and := / = assignments from
-// make(map[...]) or map literals.
-func localMapNames(fd *ast.FuncDecl) map[string]bool {
-	maps := make(map[string]bool)
-	if fd.Type.Params != nil {
-		for _, field := range fd.Type.Params.List {
-			if _, ok := field.Type.(*ast.MapType); ok {
-				for _, name := range field.Names {
-					maps[name.Name] = true
-				}
-			}
-		}
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.DeclStmt:
-			gd, ok := st.Decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				return true
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				if _, isMap := vs.Type.(*ast.MapType); isMap {
-					for _, name := range vs.Names {
-						maps[name.Name] = true
-					}
-				}
-			}
-		case *ast.AssignStmt:
-			for i, rhs := range st.Rhs {
-				if i >= len(st.Lhs) {
-					break
-				}
-				id, ok := st.Lhs[i].(*ast.Ident)
-				if !ok {
-					continue
-				}
-				if exprIsMap(rhs) {
-					maps[id.Name] = true
-				}
-			}
-		}
-		return true
-	})
-	return maps
-}
-
-// exprIsMap reports whether the expression syntactically constructs a
-// map: make(map[...]...) or a map composite literal.
-func exprIsMap(e ast.Expr) bool {
-	switch v := e.(type) {
-	case *ast.CallExpr:
-		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
-			_, isMap := v.Args[0].(*ast.MapType)
-			return isMap
-		}
-	case *ast.CompositeLit:
-		_, isMap := v.Type.(*ast.MapType)
-		return isMap
-	}
-	return false
 }
 
 // appendPerRangeKey reports whether the append's destination is an

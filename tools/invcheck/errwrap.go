@@ -3,19 +3,25 @@ package main
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
-	"unicode"
 )
 
 // analyzerErrWrap guards the error-discipline contract from PR 6:
-// package-level Err* sentinels (ErrNoHealthyWorkers, ErrWALFailed, …)
-// travel through retry loops, transports, and facade layers wrapped in
-// context, so direct ==/!= comparisons and %v formatting silently stop
-// matching the moment anyone adds a wrap. errors.Is and %w are the only
-// forms that survive composition.
+// package-level error sentinels (ErrNoHealthyWorkers, ErrWALFailed,
+// io.EOF, …) travel through retry loops, transports, and facade layers
+// wrapped in context, so direct ==/!= comparisons and %v formatting
+// silently stop matching the moment anyone adds a wrap. errors.Is and
+// %w are the only forms that survive composition.
+//
+// The typed pass resolves sentinels as objects: any package-level
+// variable whose type implements error is a sentinel, whatever it is
+// named — the syntactic Err[A-Z]* pattern missed lower-cased and
+// imported sentinels (io.EOF, context.Canceled) and fired on
+// non-error identifiers that merely looked the part.
 var analyzerErrWrap = &Analyzer{
 	Name: "errwrap",
-	Doc:  "Err* sentinels are matched with errors.Is and wrapped with %w",
+	Doc:  "error-typed sentinel objects are matched with errors.Is and wrapped with %w",
 	Run:  runErrWrap,
 }
 
@@ -23,17 +29,16 @@ var analyzerErrWrap = &Analyzer{
 // on sentinels, and fmt.Errorf calls that format a sentinel without %w.
 func runErrWrap(f *SrcFile) []Finding {
 	var out []Finding
-	fmtIdent := importIdent(f, "fmt")
 	ast.Inspect(f.File, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.BinaryExpr:
 			if v.Op != token.EQL && v.Op != token.NEQ {
 				return true
 			}
-			if name := sentinelName(v.X); name != "" {
+			if name := sentinelName(f, v.X); name != "" {
 				out = append(out, f.finding("errwrap", v.Pos(),
 					"sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, v.Op))
-			} else if name := sentinelName(v.Y); name != "" {
+			} else if name := sentinelName(f, v.Y); name != "" {
 				out = append(out, f.finding("errwrap", v.Pos(),
 					"sentinel %s compared with %s; use errors.Is so wrapped errors still match", name, v.Op))
 			}
@@ -47,14 +52,14 @@ func runErrWrap(f *SrcFile) []Finding {
 					continue
 				}
 				for _, expr := range cc.List {
-					if name := sentinelName(expr); name != "" {
+					if name := sentinelName(f, expr); name != "" {
 						out = append(out, f.finding("errwrap", expr.Pos(),
 							"switch case on sentinel %s compares with ==; use errors.Is chains instead", name))
 					}
 				}
 			}
 		case *ast.CallExpr:
-			if !isPkgCall(v, fmtIdent, "Errorf") || len(v.Args) < 2 {
+			if !f.isPkgFunc(v, "fmt", "Errorf") || len(v.Args) < 2 {
 				return true
 			}
 			lit, ok := v.Args[0].(*ast.BasicLit)
@@ -62,7 +67,7 @@ func runErrWrap(f *SrcFile) []Finding {
 				return true
 			}
 			for _, arg := range v.Args[1:] {
-				if name := deepSentinelName(arg); name != "" {
+				if name := deepSentinelName(f, arg); name != "" {
 					out = append(out, f.finding("errwrap", v.Pos(),
 						"fmt.Errorf formats sentinel %s without %%w; errors.Is will not match the result", name))
 					break
@@ -74,34 +79,44 @@ func runErrWrap(f *SrcFile) []Finding {
 	return out
 }
 
-// sentinelName returns the Err*-style name when the expression is a
-// bare or package-qualified sentinel identifier, "" otherwise.
-func sentinelName(e ast.Expr) string {
-	switch v := e.(type) {
+// sentinelName returns the rendered name when the expression resolves
+// to a package-level variable whose type implements error — the typed
+// definition of a sentinel — and "" otherwise. Locals, fields, and
+// non-error variables never match.
+func sentinelName(f *SrcFile, e ast.Expr) string {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
 	case *ast.Ident:
-		if isSentinelIdent(v.Name) {
-			return v.Name
-		}
+		id = v
 	case *ast.SelectorExpr:
-		if isSentinelIdent(v.Sel.Name) {
-			if id, ok := v.X.(*ast.Ident); ok {
-				return id.Name + "." + v.Sel.Name
-			}
-		}
+		id = v.Sel
+	default:
+		return ""
 	}
-	return ""
+	obj := f.obj(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return ""
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return "" // not package-level: locals may alias freely
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	return types.ExprString(ast.Unparen(e))
 }
 
 // deepSentinelName walks the expression for any embedded sentinel
 // reference (covers arguments like ErrX or pkg.ErrX inside casts).
-func deepSentinelName(e ast.Expr) string {
+func deepSentinelName(f *SrcFile, e ast.Expr) string {
 	name := ""
 	ast.Inspect(e, func(n ast.Node) bool {
 		if name != "" {
 			return false
 		}
 		if expr, ok := n.(ast.Expr); ok {
-			if s := sentinelName(expr); s != "" {
+			if s := sentinelName(f, expr); s != "" {
 				name = s
 				return false
 			}
@@ -109,14 +124,4 @@ func deepSentinelName(e ast.Expr) string {
 		return true
 	})
 	return name
-}
-
-// isSentinelIdent reports whether name follows the package-sentinel
-// convention: Err followed by an upper-case letter or digit.
-func isSentinelIdent(name string) bool {
-	if !strings.HasPrefix(name, "Err") || len(name) < 4 {
-		return false
-	}
-	r := rune(name[3])
-	return unicode.IsUpper(r) || unicode.IsDigit(r)
 }

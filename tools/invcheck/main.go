@@ -1,38 +1,69 @@
 // Command invcheck is the CI invariant gate: a multi-analyzer static
 // checker that mechanically enforces the repo's determinism, context,
-// error-discipline, goroutine-join, and snapshot-publish contracts —
-// the invariants that keep results byte-identical across workers,
+// error-discipline, goroutine-join, snapshot-publish, hot-path
+// allocation, merge-purity, and WAL fail-stop contracts — the
+// invariants that keep results byte-identical across workers,
 // shardings, transports, and WAL replays, and that property tests can
 // only catch probabilistically.
 //
+// Since v2 the checker is type-aware: every package is type-checked
+// once (go/types with the stdlib source importer; module-local imports
+// resolve from the module root) and analyzers match real objects and
+// types — error-typed sentinel objects rather than Err[A-Z]* name
+// patterns, sync/atomic.Pointer[T] by type identity, context.Context
+// through aliases and renamed imports.
+//
 // Usage:
 //
-//	go run ./tools/invcheck [-only=name,name] [dir ...]
+//	go run ./tools/invcheck [-only=name,...] [-format=text|json|github] [-suppressions] [dir ...]
 //
 // Each dir is walked recursively (a trailing /... is accepted and
 // equivalent); without arguments the current directory is walked.
 // Files under testdata, vendor, examples, and dot-directories are
-// exempt, as are _test.go files. Exit status 1 reports violations, one
-// per line, as file:line: [analyzer] message; exit status 2 reports a
-// usage or parse error.
+// exempt, as are _test.go files and files excluded by their build
+// constraints. Exit status 1 reports violations; exit status 2 reports
+// a usage error, or a file that fails to parse or type-check (printed
+// to stderr as [framework] diagnostics — an unanalyzable file is never
+// silently skipped).
+//
+// Output formats (-format):
+//
+//	text    file:line: [analyzer] message, sorted (default)
+//	json    a JSON array of {file, line, analyzer, message} objects
+//	github  GitHub Actions ::error annotations for inline CI review
 //
 // Analyzers (run all by default; -only selects a subset):
 //
 //	determinism   — no wall-clock reads or unseeded math/rand in the
 //	                byte-identity engine packages (assoc, fptree,
-//	                hashtree, transactions, dist, wal), and no range
-//	                over a map that appends to a slice or writes output
-//	                without an intervening sort.
+//	                hashtree, transactions, dist, wal, serve, seqmine),
+//	                and no range over a map-typed expression that
+//	                appends to a slice or writes output without an
+//	                intervening sort.
 //	ctxdiscipline — exported functions in engine/dist/serve packages
 //	                that loop over shards or transactions take
-//	                ctx context.Context as their first parameter, and
-//	                no struct stores a context outside the allowlist.
-//	errwrap       — Err* sentinels are matched with errors.Is (never
-//	                ==/!= or switch cases) and wrapped with %w.
+//	                ctx context.Context first, and no struct stores a
+//	                context outside the allowlist.
+//	errwrap       — package-level error-typed sentinel objects are
+//	                matched with errors.Is (never ==/!= or switch
+//	                cases) and wrapped with %w.
 //	goroutines    — every go statement is lexically paired with a
 //	                WaitGroup or channel join in the same function.
-//	atomicpublish — in internal/serve, atomic.Pointer stores happen
-//	                only inside a designated publish helper.
+//	atomicpublish — in internal/serve, stores on values of type
+//	                sync/atomic.Pointer[T] happen only inside a
+//	                designated publish helper.
+//	allocbound    — functions annotated //invcheck:hotpath are free of
+//	                provable allocation sites: composite literals,
+//	                growing appends, string concatenation, interface
+//	                boxing at call sites, capturing closures.
+//	mergepure     — Merge/*Into methods on count-buffer types perform
+//	                only commutative accumulation: no package-level
+//	                mutable state, no calls outside the purity
+//	                allowlist, no stores to non-destination parameters.
+//	walfailstop   — in internal/wal and internal/serve, errors from
+//	                write/sync-shaped calls are checked on every path
+//	                before any further persist/apply/ack step and are
+//	                never swallowed.
 //
 // A finding can be suppressed with a reasoned inline directive on the
 // same line or the line above:
@@ -40,10 +71,14 @@
 //	//lint:ignore invcheck/<analyzer> <reason>
 //
 // A suppression without a reason, or naming an unknown analyzer, is
-// itself a violation ([suppress]).
+// itself a violation ([suppress]). The -suppressions flag audits the
+// inventory instead of checking: it lists every directive under the
+// roots as file:line: invcheck/<analyzer>: reason and exits 0, so CI
+// can budget the count and review the reasons.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -58,13 +93,21 @@ func main() {
 
 // run is the testable entry point: it parses argv, runs the selected
 // analyzers over every root, prints findings to stdout, and returns the
-// process exit code (0 clean, 1 violations, 2 usage/parse error).
+// process exit code (0 clean, 1 violations, 2 usage/parse/type error).
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("invcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, or github")
+	audit := fs.Bool("suppressions", false, "list every //lint:ignore invcheck/* directive instead of checking")
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "invcheck: unknown -format %q (have text, json, github)\n", *format)
 		return 2
 	}
 	analyzers, err := selectAnalyzers(*only)
@@ -82,23 +125,120 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
+	if *audit {
+		return runSuppressionAudit(roots, *format, stdout, stderr)
+	}
 	var findings []Finding
 	for _, root := range roots {
 		v, err := checkTree(normalizeRoot(root), analyzers)
 		if err != nil {
+			if fe, ok := err.(*frameworkError); ok {
+				for _, d := range fe.diags {
+					fmt.Fprintln(stderr, d)
+				}
+				fmt.Fprintln(stderr, "invcheck: tree failed to parse or type-check; nothing was gated")
+				return 2
+			}
 			fmt.Fprintln(stderr, "invcheck:", err)
 			return 2
 		}
 		findings = append(findings, v...)
 	}
 	sortFindings(findings)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	if err := emitFindings(findings, *format, stdout); err != nil {
+		fmt.Fprintln(stderr, "invcheck:", err)
+		return 2
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "invcheck: %d invariant violations\n", len(findings))
 		return 1
 	}
+	return 0
+}
+
+// emitFindings renders findings in the selected format. The json form
+// always emits an array (possibly empty) so consumers can parse
+// unconditionally; github emits workflow ::error annotations that
+// surface inline on the PR diff.
+func emitFindings(findings []Finding, format string, stdout io.Writer) error {
+	switch format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		return enc.Encode(findings)
+	case "github":
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d::%s\n",
+				f.File, f.Line, githubEscape(fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	return nil
+}
+
+// githubEscape encodes the characters the workflow-command parser
+// treats specially in annotation messages.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// runSuppressionAudit lists every invcheck suppression directive under
+// the roots. Exit 0 with the inventory on stdout (and a count on
+// stderr); exit 2 when a root cannot be parsed.
+func runSuppressionAudit(roots []string, format string, stdout, stderr io.Writer) int {
+	var sups []suppression
+	for _, root := range roots {
+		s, err := collectSuppressions(normalizeRoot(root))
+		if err != nil {
+			if fe, ok := err.(*frameworkError); ok {
+				for _, d := range fe.diags {
+					fmt.Fprintln(stderr, d)
+				}
+			} else {
+				fmt.Fprintln(stderr, "invcheck:", err)
+			}
+			return 2
+		}
+		sups = append(sups, s...)
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].file != sups[j].file {
+			return sups[i].file < sups[j].file
+		}
+		return sups[i].line < sups[j].line
+	})
+	if format == "json" {
+		type auditEntry struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+		}
+		entries := make([]auditEntry, 0, len(sups))
+		for _, s := range sups {
+			entries = append(entries, auditEntry{File: s.file, Line: s.line, Analyzer: s.analyzer, Reason: s.reason})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(entries); err != nil {
+			fmt.Fprintln(stderr, "invcheck:", err)
+			return 2
+		}
+	} else {
+		for _, s := range sups {
+			fmt.Fprintf(stdout, "%s:%d: invcheck/%s: %s\n", s.file, s.line, s.analyzer, s.reason)
+		}
+	}
+	fmt.Fprintf(stderr, "invcheck: %d suppressions\n", len(sups))
 	return 0
 }
 

@@ -1,0 +1,61 @@
+// Package assoc is an allocbound bad fixture: one annotated function
+// per provable allocation class.
+package assoc
+
+type record struct {
+	id    int
+	items []int
+}
+
+//invcheck:hotpath
+func sliceLiteral(row []int) []int {
+	out := []int{row[0]} // slice literal allocates per call
+	return out
+}
+
+//invcheck:hotpath
+func mapLiteral(row []int) map[int]bool {
+	seen := map[int]bool{} // map literal allocates per call
+	for _, id := range row {
+		seen[id] = true
+	}
+	return seen
+}
+
+//invcheck:hotpath
+func heapEscape(id int) *record {
+	return &record{id: id} // &composite escapes to the heap
+}
+
+//invcheck:hotpath
+func growingAppend(dst []int, row []int) []int {
+	for _, id := range row {
+		dst = append(dst, id) // dst's capacity is not provably preallocated here
+	}
+	return dst
+}
+
+//invcheck:hotpath
+func concat(name string, n int) string {
+	return name + name // runtime string concatenation
+}
+
+// emit takes an interface parameter, so concrete arguments box.
+func emit(v any) { _ = v }
+
+//invcheck:hotpath
+func boxes(id int) {
+	emit(id) // int boxed into any per call
+}
+
+//invcheck:hotpath
+func closureCapture(rows [][]int) int {
+	total := 0
+	walk := func(row []int) { // captures total by reference
+		total += len(row)
+	}
+	for _, row := range rows {
+		walk(row)
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+// Package assoc is an allocbound good fixture: hotpath functions that
+// reuse scratch and preallocate, plus an unannotated function whose
+// allocations must not fire.
+package assoc
+
+// counter accumulates per-item counts with preallocated scratch.
+type counter struct {
+	counts  []int
+	scratch []int
+}
+
+//invcheck:hotpath
+func (c *counter) countRow(row []int) {
+	dst := make([]int, 0, len(row))
+	for _, id := range row {
+		c.counts[id]++
+		dst = append(dst, id)
+	}
+	c.scratch = c.scratch[:0]
+}
+
+//invcheck:hotpath
+func sumInto(dst []int, src []int) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// buildIndex is NOT annotated: its allocations are setup-phase and out
+// of scope.
+func buildIndex(rows [][]int) map[int][]int {
+	idx := map[int][]int{}
+	for tid, row := range rows {
+		for _, id := range row {
+			idx[id] = append(idx[id], tid)
+		}
+	}
+	return idx
+}
+
+// sink consumes an already-interface value: passing an interface
+// through never boxes.
+func sink(v any) { _ = v }
+
+//invcheck:hotpath
+func passThrough(v any, p *counter) {
+	sink(v)                          // interface-to-interface: no box
+	sink(p)                          // pointer-shaped: no copy allocation
+	sink(nil)                        // nil never boxes
+	sink(any(&counter{counts: nil})) //lint:ignore invcheck/allocbound fixture pins that a reasoned suppression silences a deliberate site
+}
+
+//invcheck:hotpath
+func constantConcat() string {
+	const prefix = "item-" + "v1" // constant-folded: no runtime concat
+	return prefix
+}

@@ -1,14 +1,20 @@
 // Package wal is an errwrap bad fixture: sentinel comparisons with
-// ==/!=, a switch over sentinels, and %v-wrapping a sentinel.
+// ==/!=, a switch over sentinels, %v-wrapping a sentinel, and the
+// sentinels only the typed pass can see — imported (io.EOF) and
+// lower-cased (errShutdown) ones the Err[A-Z]* regex never matched.
 package wal
 
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // ErrCorrupt is the fixture sentinel.
 var ErrCorrupt = errors.New("corrupt")
+
+// errShutdown is a lower-cased sentinel invisible to a name-based scan.
+var errShutdown = errors.New("shutting down")
 
 func compare(err error) bool {
 	return err == ErrCorrupt
@@ -19,6 +25,14 @@ func compareNeq(err error) bool {
 		return true
 	}
 	return false
+}
+
+func compareImported(err error) bool {
+	return err == io.EOF
+}
+
+func compareUnexported(err error) bool {
+	return err == errShutdown
 }
 
 func viaSwitch(err error) string {

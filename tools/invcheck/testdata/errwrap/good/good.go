@@ -1,18 +1,26 @@
 // Package wal is an errwrap good fixture: errors.Is matching and %w
-// wrapping, plus non-sentinel comparisons that must not fire.
+// wrapping, plus non-sentinel comparisons that must not fire — notably
+// ones the old syntactic Err[A-Z]* pattern would have flagged.
 package wal
 
 import (
 	"errors"
 	"fmt"
-	"io"
 )
 
 // ErrCorrupt is the fixture sentinel.
 var ErrCorrupt = errors.New("corrupt")
 
+// ErrBudget is named like a sentinel but is an int: the typed pass must
+// not fire on it (the syntactic Err[A-Z]* match did).
+var ErrBudget = 3
+
 func match(err error) bool {
 	return errors.Is(err, ErrCorrupt)
+}
+
+func matchStdlib(err error) bool {
+	return errors.Is(err, errors.ErrUnsupported)
 }
 
 func wrapWithW(offset int) error {
@@ -23,10 +31,11 @@ func plainComparisons(err error, n int) bool {
 	if err == nil {
 		return false
 	}
-	if err == io.EOF && n == 0 {
+	if n == ErrBudget {
 		return true
 	}
-	return n != 3
+	local := errors.New("scratch")
+	return err == local // locals are not sentinels; identity is fine
 }
 
 func formatNonSentinel(err error) error {

@@ -1,0 +1,54 @@
+// Package hashtree is a mergepure bad fixture: merges that mutate their
+// source, lean on package-level mutable state (directly and through a
+// helper), call unvetted cross-package functions, and call through
+// function values.
+package hashtree
+
+import "fmt"
+
+// mergeEpoch is package-level mutable state: reading it makes merge
+// results depend on call order.
+var mergeEpoch int
+
+// CountBuffer holds partial support counts.
+type CountBuffer struct {
+	Counts map[int]int
+}
+
+// Merge drains the source into the receiver — mutating the source makes
+// merge order observable to later merges.
+func (b *CountBuffer) Merge(src *CountBuffer) {
+	for id, n := range src.Counts {
+		b.Counts[id] += n
+	}
+	src.Counts = nil
+}
+
+// StampInto reads the package-level epoch directly.
+func StampInto(dst *CountBuffer) {
+	dst.Counts[0] = mergeEpoch
+}
+
+// AuditInto reaches mutable state through a same-package helper: the
+// transitive walk must still see it.
+func AuditInto(dst *CountBuffer) {
+	dst.Counts[1] = currentEpoch()
+}
+
+// currentEpoch is only reachable from AuditInto.
+func currentEpoch() int {
+	return mergeEpoch
+}
+
+// TraceInto calls a cross-package function that is not on the
+// allowlist.
+func TraceInto(dst *CountBuffer) {
+	fmt.Println("merging")
+	dst.Counts[2]++
+}
+
+// HookInto calls through a function value, whose purity cannot be
+// established.
+func HookInto(dst *CountBuffer, hook func(int) int) {
+	dst.Counts[3] = hook(3)
+}

@@ -1,0 +1,60 @@
+// Package hashtree is a mergepure good fixture: merges that accumulate
+// into the receiver or a named destination, call only same-package pure
+// helpers and allowlisted stdlib, and read sentinels but no mutable
+// globals.
+package hashtree
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrMismatch is an error sentinel: merges may reference it freely —
+// sentinels are write-once identity tokens, not mutable state.
+var ErrMismatch = errors.New("buffer shape mismatch")
+
+// maxItems is a constant: constants never vary between replays.
+const maxItems = 1 << 16
+
+// CountBuffer holds partial support counts.
+type CountBuffer struct {
+	Counts map[int]int
+	order  []int
+}
+
+// Merge folds the source buffer into the receiver.
+func (b *CountBuffer) Merge(src *CountBuffer) error {
+	if src == nil {
+		return ErrMismatch
+	}
+	for id, n := range src.Counts {
+		b.bump(id, n)
+	}
+	return nil
+}
+
+// bump is a same-package helper reached transitively from Merge; it
+// only touches the receiver.
+func (b *CountBuffer) bump(id, n int) {
+	if id >= maxItems {
+		return
+	}
+	b.Counts[id] += n
+}
+
+// CountInto accumulates into an explicit destination parameter.
+func CountInto(ids []int, dst *CountBuffer) {
+	for _, id := range ids {
+		dst.Counts[id]++
+	}
+}
+
+// CanonicalInto writes a sorted view into the destination; sort.Ints is
+// on the pure-callee allowlist.
+func CanonicalInto(src map[int]int, out *CountBuffer) {
+	out.order = out.order[:0]
+	for id := range src {
+		out.order = append(out.order, id)
+	}
+	sort.Ints(out.order)
+}

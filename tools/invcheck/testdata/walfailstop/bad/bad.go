@@ -1,0 +1,51 @@
+// Package wal is a walfailstop bad fixture: one function per fail-stop
+// violation class — discarded, blanked, shadowed, checked-too-late, and
+// deferred persist errors.
+package wal
+
+// file is a persist target; its Write and Sync return real errors.
+type file struct{ failed bool }
+
+func (f *file) Write(p []byte) (int, error) { return len(p), nil }
+func (f *file) Sync() error                 { return nil }
+
+func rename(from, to string) {}
+
+func discarded(f *file, blob []byte) {
+	f.Sync() // error dropped on the floor
+}
+
+func blanked(f *file, blob []byte) {
+	_, _ = f.Write(blob) // error explicitly blanked
+}
+
+func shadowed(f *file, blob []byte) error {
+	var err error
+	if _, werr := f.Write(blob); werr == nil {
+		err = f.Sync()
+		_ = err
+	}
+	if _, err := f.Write(blob); err == nil {
+		err = f.Sync() // assigns the inner err, which is never read
+	}
+	return err
+}
+
+func lateCheck(f *file, blob []byte, tmp, final string) error {
+	_, err := f.Write(blob)
+	rename(tmp, final) // state advances before the error is looked at
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferred(f *file) {
+	defer f.Sync() // deferred persist failure is unobservable
+}
+
+func overwritten(f *file, blob []byte) error {
+	err := f.Sync()
+	_, err = f.Write(blob) // overwrites the sync error before anyone read it
+	return err
+}

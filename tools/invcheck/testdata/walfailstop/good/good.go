@@ -1,0 +1,80 @@
+// Package wal is a walfailstop good fixture: every persist error is
+// captured and checked before state advances, plus the documented
+// always-nil writers that must not fire.
+package wal
+
+import (
+	"bytes"
+	"strings"
+)
+
+// file is a persist target; its Write and Sync return real errors.
+type file struct{ failed bool }
+
+func (f *file) Write(p []byte) (int, error) { return len(p), nil }
+func (f *file) Sync() error                 { return nil }
+
+// log is the group-commit shape: append then sync, both checked before
+// apply and ack.
+type log struct{ f *file }
+
+func (l *log) appendRec(rec []byte) error { _, err := l.f.Write(rec); return err }
+func (l *log) sync() error                { return l.f.Sync() }
+func (l *log) apply(rec []byte)           {}
+func (l *log) ack()                       {}
+
+func checkedDirect(f *file, blob []byte) error {
+	if _, err := f.Write(blob); err != nil {
+		return err
+	}
+	return f.Sync() // propagated to the caller, not dropped
+}
+
+func groupCommit(l *log, batch [][]byte) error {
+	var perr error
+	for _, rec := range batch {
+		perr = l.appendRec(rec)
+		if perr != nil {
+			break
+		}
+	}
+	if perr == nil {
+		perr = l.sync()
+	}
+	if perr != nil {
+		return perr
+	}
+	for _, rec := range batch {
+		l.apply(rec)
+	}
+	l.ack()
+	return nil
+}
+
+// branchAssign mirrors the serving tier's apply switch: each case
+// assigns the same err variable, and the check after the switch reads
+// whichever branch ran. A sibling branch's write must not be mistaken
+// for an overwrite of this branch's error.
+func branchAssign(f *file, kind int, blob []byte) int {
+	var err error
+	switch kind {
+	case 0:
+		err = f.Sync()
+	case 1:
+		_, err = f.Write(blob)
+	}
+	if err != nil {
+		return 0
+	}
+	return 1
+}
+
+func alwaysNilWriters(words []string) string {
+	var buf bytes.Buffer
+	var sb strings.Builder
+	for _, w := range words {
+		buf.WriteString(w) // bytes.Buffer errors are documented always-nil
+		sb.WriteString(w)  // strings.Builder likewise
+	}
+	return buf.String() + sb.String()
+}
